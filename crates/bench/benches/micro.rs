@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the core primitives: the event queue,
+//! random walks on RGGs, quorum mathematics, and RGG construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pqs_core::spec;
+use pqs_graph::rgg::RggConfig;
+use pqs_graph::walks::{partial_cover_steps, WalkKind, Walker};
+use pqs_sim::{rng, EventQueue, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_micros(i % 977), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut r = rng::stream(1, 0);
+    let net = RggConfig::with_avg_degree(400, 10.0).generate(&mut r);
+    let start = net.graph().components().remove(0)[0];
+
+    c.bench_function("walks/simple_1k_steps", |b| {
+        let mut wr = rng::stream(2, 0);
+        b.iter(|| {
+            let mut w = Walker::new(net.graph(), start, WalkKind::Simple);
+            for _ in 0..1_000 {
+                black_box(w.step(&mut wr));
+            }
+        });
+    });
+
+    c.bench_function("walks/unique_pct_sqrt_n", |b| {
+        let mut wr = rng::stream(3, 0);
+        b.iter(|| {
+            black_box(partial_cover_steps(
+                net.graph(),
+                start,
+                20,
+                WalkKind::SelfAvoiding,
+                &mut wr,
+            ))
+        });
+    });
+}
+
+fn bench_quorum_math(c: &mut Criterion) {
+    c.bench_function("spec/intersection_bound", |b| {
+        b.iter(|| black_box(spec::intersection_lower_bound(black_box(57), black_box(33), 800)));
+    });
+    c.bench_function("spec/asymmetric_sizing", |b| {
+        b.iter(|| {
+            black_box(spec::BiquorumSpec::asymmetric_for_epsilon(
+                spec::AccessStrategy::Random,
+                spec::AccessStrategy::UniquePath,
+                black_box(800),
+                0.1,
+                2.0,
+            ))
+        });
+    });
+}
+
+fn bench_rgg(c: &mut Criterion) {
+    c.bench_function("rgg/generate_n800_d10", |b| {
+        let mut r = rng::stream(4, 0);
+        b.iter(|| black_box(RggConfig::with_avg_degree(800, 10.0).generate(&mut r)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_walks, bench_quorum_math, bench_rgg
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion end-to-end benches: small advertise+lookup scenarios, one
+//! per strategy mix, measuring whole-simulation wall time (the cost of
+//! regenerating one data point of the paper's figures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pqs_core::runner::{run_scenario, ScenarioConfig};
+use pqs_core::spec::{AccessStrategy, BiquorumSpec, QuorumSpec};
+use pqs_core::workload::WorkloadConfig;
+use std::hint::black_box;
+
+fn scenario(adv: AccessStrategy, adv_size: u32, lkp: AccessStrategy, lkp_size: u32) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(60);
+    cfg.workload = WorkloadConfig::small(5, 15);
+    cfg.service.spec = BiquorumSpec::new(
+        QuorumSpec::new(adv, adv_size),
+        QuorumSpec::new(lkp, lkp_size),
+    );
+    cfg
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mixes = [
+        ("random_x_unique_path", scenario(AccessStrategy::Random, 16, AccessStrategy::UniquePath, 9)),
+        ("random_x_random", scenario(AccessStrategy::Random, 16, AccessStrategy::Random, 9)),
+        ("random_x_flooding", scenario(AccessStrategy::Random, 16, AccessStrategy::Flooding, 3)),
+        ("unique_x_unique", scenario(AccessStrategy::UniquePath, 15, AccessStrategy::UniquePath, 15)),
+    ];
+    let mut group = c.benchmark_group("scenario_60_nodes");
+    group.sample_size(10);
+    for (name, cfg) in mixes {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_scenario(&cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

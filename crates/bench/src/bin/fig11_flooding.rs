@@ -1,0 +1,41 @@
+//! Fig. 11 — RANDOM advertise with FLOODING lookup: hit ratio and
+//! messages per lookup as the flood TTL grows, static and mobile. The
+//! figure demonstrates flooding's coarse coverage granularity.
+
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
+use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_core::spec::{AccessStrategy, QuorumSpec};
+use pqs_net::MobilityModel;
+
+fn main() {
+    let ttls = [1u32, 2, 3, 4, 5];
+    let the_seeds = seeds(2);
+    let sizes = [200usize, largest_n()];
+
+    for mobile in [false, true] {
+        let label = if mobile { "mobile 0.5-2 m/s" } else { "static" };
+        header(
+            &format!("Fig. 11: FLOODING lookup, {label} (hit | msgs per lookup)"),
+            &["n \\ TTL", "1", "2", "3", "4", "5"],
+        );
+        for &n in &sizes {
+            let mut cells = vec![n.to_string()];
+            for &ttl in &ttls {
+                let mut cfg = ScenarioConfig::paper(n);
+                if mobile {
+                    cfg.net.mobility = MobilityModel::walking();
+                }
+                cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::Flooding, ttl);
+                cfg.workload = bench_workload(30, 120, n);
+                let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+                cells.push(format!("{}|{}", f(agg.hit_ratio), f(agg.msgs_per_lookup)));
+            }
+            row(&cells);
+        }
+    }
+    println!("\nPaper check (§8.4): the hit ratio jumps super-linearly with TTL");
+    println!("(≈0.5 at TTL 2, ≈0.85 at TTL 3 for n = 800) and pushing it to 0.9");
+    println!("needs TTL 4 at a disproportionate message cost — flooding's coarse");
+    println!("granularity. Mobile networks hit slightly MORE (random-waypoint");
+    println!("center-density artifact) while sending more messages.");
+}

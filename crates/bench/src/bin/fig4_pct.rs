@@ -1,0 +1,90 @@
+//! Fig. 4 — random-walk partial cover time: the number of steps per
+//! unique visited node, for growing numbers of unique nodes, across
+//! network sizes and densities; simple (PATH) vs self-avoiding
+//! (UNIQUE-PATH) walks. Also checks Theorem 4.1 (PCT(t) ≤ 2αt).
+
+use pqs_bench::{f, header, row, seeds};
+use pqs_graph::rgg::RggConfig;
+use pqs_graph::walks::{pct_profile, WalkKind};
+use pqs_sim::rng;
+
+/// Mean steps-per-unique-node profile over several graphs and starts.
+fn profile(n: usize, d_avg: f64, upto: usize, kind: WalkKind) -> Vec<f64> {
+    let mut sums = vec![0.0f64; upto];
+    let mut count = 0.0f64;
+    for seed in seeds(5) {
+        let mut r = rng::stream(seed, 4);
+        let net = RggConfig::with_avg_degree(n, d_avg).generate(&mut r);
+        let comp = net.graph().components().remove(0);
+        if comp.len() < upto {
+            continue;
+        }
+        for (i, &start) in comp.iter().step_by((comp.len() / 6).max(1)).enumerate() {
+            let mut wr = rng::stream(seed * 7919 + i as u64, 5);
+            if let Some(p) = pct_profile(net.graph(), start, upto, kind, &mut wr) {
+                for (k, &steps) in p.iter().enumerate().skip(1) {
+                    sums[k] += steps as f64 / (k + 1) as f64;
+                }
+                count += 1.0;
+            }
+        }
+    }
+    sums.iter().map(|s| s / count.max(1.0)).collect()
+}
+
+fn main() {
+    let checkpoints = [10usize, 20, 30, 40, 60];
+
+    // (a) simple walk, varying n, d_avg = 10.
+    header(
+        "Fig. 4(a): simple RW, steps per unique node (d_avg = 10)",
+        &["n \\ unique", "10", "20", "30", "40", "60"],
+    );
+    for n in [100usize, 200, 400, 800] {
+        let p = profile(n, 10.0, 61, WalkKind::Simple);
+        let mut cells = vec![n.to_string()];
+        cells.extend(checkpoints.iter().map(|&k| f(p[k - 1])));
+        row(&cells);
+    }
+
+    // (b) simple walk, varying density, n = 400.
+    header(
+        "Fig. 4(b): simple RW, varying density (n = 400)",
+        &["d_avg \\ unique", "10", "20", "30", "40", "60"],
+    );
+    for d in [7.0, 10.0, 15.0, 20.0, 25.0] {
+        let p = profile(400, d, 61, WalkKind::Simple);
+        let mut cells = vec![format!("{d}")];
+        cells.extend(checkpoints.iter().map(|&k| f(p[k - 1])));
+        row(&cells);
+    }
+
+    // (c) PCT at sqrt(n): the paper's constant ≈ 1.7 for all n ≤ 800.
+    header(
+        "Fig. 4(c): PCT(sqrt(n)) / sqrt(n) (paper: <= 1.7)",
+        &["n", "simple RW", "unique RW"],
+    );
+    for n in [100usize, 200, 400, 800] {
+        let target = (n as f64).sqrt().round() as usize;
+        let ps = profile(n, 10.0, target, WalkKind::Simple);
+        let pu = profile(n, 10.0, target, WalkKind::SelfAvoiding);
+        row(&[n.to_string(), f(ps[target - 1]), f(pu[target - 1])]);
+    }
+
+    // (d) UNIQUE-PATH almost never revisits (ratio ≈ 1), even sparse.
+    header(
+        "Fig. 4(d): UNIQUE-PATH steps per unique node (n = 400)",
+        &["d_avg \\ unique", "10", "20", "30", "40", "60"],
+    );
+    for d in [7.0, 10.0, 15.0, 25.0] {
+        let p = profile(400, d, 61, WalkKind::SelfAvoiding);
+        let mut cells = vec![format!("{d}")];
+        cells.extend(checkpoints.iter().map(|&k| f(p[k - 1])));
+        row(&cells);
+    }
+
+    println!("\nTheorem 4.1 check: the columns above are flat-ish in the unique-node");
+    println!("count and bounded by a small constant (2*alpha), i.e. PCT(t) = O(t).");
+    println!("Paper reference points: simple RW ~1.7 at d_avg=10; ~2.5 at d_avg=7;");
+    println!("UNIQUE-PATH ~1.0-1.2 everywhere.");
+}

@@ -1,0 +1,48 @@
+//! Fig. 9 — RANDOM advertise with RANDOM-OPT lookup: hit ratio, messages
+//! and routing price for a handful of routed probes whose relays answer
+//! from their own stores (the §4.5 cross-layer tap). Static and mobile.
+
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
+use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_core::spec::{AccessStrategy, QuorumSpec};
+use pqs_core::Fanout;
+use pqs_net::MobilityModel;
+
+fn main() {
+    let probes = [1u32, 2, 4, 6, 8];
+    let the_seeds = seeds(2);
+    let sizes = [200usize, largest_n()];
+
+    for mobile in [false, true] {
+        let label = if mobile { "mobile 0.5-2 m/s" } else { "static" };
+        header(
+            &format!("Fig. 9: RANDOM-OPT lookup, {label} (hit | msgs | routing per lookup)"),
+            &["n \\ probes", "1", "2", "4", "6", "8"],
+        );
+        for &n in &sizes {
+            let mut cells = vec![n.to_string()];
+            for &x in &probes {
+                let mut cfg = ScenarioConfig::paper(n);
+                if mobile {
+                    cfg.net.mobility = MobilityModel::walking();
+                }
+                cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::RandomOpt, x);
+                cfg.service.lookup_fanout = Fanout::Parallel;
+                cfg.workload = bench_workload(30, 120, n);
+                let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+                cells.push(format!(
+                    "{}|{}|{}",
+                    f(agg.hit_ratio),
+                    f(agg.msgs_per_lookup),
+                    f(agg.routing_per_lookup)
+                ));
+            }
+            row(&cells);
+        }
+    }
+    println!("\nPaper check (§8.2): ~ln(n) probes reach 0.9 hit ratio — far fewer");
+    println!("targets than RANDOM's 1.15·sqrt(n) — because every relay node also");
+    println!("performs the lookup; the routing price still makes it inferior to");
+    println!("UNIQUE-PATH, and mobility degrades it slightly (lost replies, longer");
+    println!("stale routes).");
+}

@@ -1,0 +1,83 @@
+//! Fig. 3 — asymptotic and qualitative comparison of the access
+//! strategies, with the asymptotic cost column evaluated for concrete
+//! network sizes and the PCT constant measured on real RGGs.
+
+use pqs_bench::{f, header, row, seeds};
+use pqs_core::analysis::asymptotic_access_cost;
+use pqs_core::spec::AccessStrategy;
+use pqs_graph::rgg::RggConfig;
+use pqs_graph::walks::{partial_cover_steps, WalkKind};
+use pqs_sim::rng;
+
+fn main() {
+    use AccessStrategy::*;
+    header(
+        "Fig. 3: qualitative strategy properties",
+        &["strategy", "uniform?", "routing?", "membership?", "early halt?"],
+    );
+    for s in [Random, RandomOpt, Path, UniquePath, Flooding] {
+        row(&[
+            s.to_string(),
+            yn(s.is_uniform_random()),
+            yn(s.needs_routing()),
+            yn(s == Random),
+            yn(s.supports_early_halting()),
+        ]);
+    }
+
+    header(
+        "Fig. 3: modelled access cost for |Q| = 2*sqrt(n) (messages)",
+        &["n", "RANDOM", "RANDOM-OPT", "PATH", "UNIQUE-PATH", "FLOODING"],
+    );
+    for n in [50usize, 100, 200, 400, 800] {
+        let q = (2.0 * (n as f64).sqrt()).round() as u32;
+        row(&[
+            n.to_string(),
+            f(asymptotic_access_cost(Random, q, n)),
+            f(asymptotic_access_cost(RandomOpt, q, n)),
+            f(asymptotic_access_cost(Path, q, n)),
+            f(asymptotic_access_cost(UniquePath, q, n)),
+            f(asymptotic_access_cost(Flooding, q, n)),
+        ]);
+    }
+
+    // Measured PCT constants on RGGs back the PATH rows: steps per
+    // distinct node at |Q| = sqrt(n) (Theorem 4.1 predicts a constant;
+    // the paper measured ~1.7 for simple walks at d_avg = 10).
+    header(
+        "measured steps-per-unique-node at |Q| = sqrt(n), d_avg = 10",
+        &["n", "PATH (simple)", "UNIQUE-PATH", "paper PATH"],
+    );
+    for n in [100usize, 200, 400, 800] {
+        let target = (n as f64).sqrt().round() as usize;
+        let mut simple = 0.0;
+        let mut unique = 0.0;
+        let mut runs = 0.0;
+        for seed in seeds(5) {
+            let mut r = rng::stream(seed, 77);
+            let net = RggConfig::with_avg_degree(n, 10.0).generate(&mut r);
+            let comp = net.graph().components().remove(0);
+            for (i, &start) in comp.iter().step_by(comp.len() / 8).enumerate() {
+                let mut wr = rng::stream(seed * 1000 + i as u64, 78);
+                if let (Some(s), Some(u)) = (
+                    partial_cover_steps(net.graph(), start, target, WalkKind::Simple, &mut wr),
+                    partial_cover_steps(net.graph(), start, target, WalkKind::SelfAvoiding, &mut wr),
+                ) {
+                    simple += s as f64 / target as f64;
+                    unique += u as f64 / target as f64;
+                    runs += 1.0;
+                }
+            }
+        }
+        row(&[
+            n.to_string(),
+            f(simple / runs),
+            f(unique / runs),
+            "1.7".into(),
+        ]);
+    }
+}
+
+fn yn(b: bool) -> String {
+    if b { "yes" } else { "no" }.into()
+}

@@ -1,0 +1,117 @@
+//! Shared plumbing for the figure-reproduction harness.
+//!
+//! Each `src/bin/fig*` / `src/bin/table*` binary regenerates one table or
+//! figure of the paper. Common knobs come from the environment:
+//!
+//! - `PQS_SEEDS=k` — runs per data point (default varies per figure; the
+//!   paper averaged 10 runs, which is expensive on one core),
+//! - `PQS_FULL=1` — include the `n = 800` configurations,
+//! - `PQS_BASE_SEED=s` — shift the seed window.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Returns the seed list for experiments: `PQS_SEEDS` seeds starting at
+/// `PQS_BASE_SEED` (default: `default_count` seeds from 1).
+pub fn seeds(default_count: usize) -> Vec<u64> {
+    let count = std::env::var("PQS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_count);
+    let base: u64 = std::env::var("PQS_BASE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    (base..base + count as u64).collect()
+}
+
+/// Returns `true` when `PQS_FULL=1` (include the largest networks).
+pub fn full() -> bool {
+    std::env::var("PQS_FULL").is_ok_and(|v| v == "1")
+}
+
+/// The network sizes swept by the paper, trimmed to keep single-core
+/// runtimes sane unless `PQS_FULL=1`.
+pub fn network_sizes() -> Vec<usize> {
+    if full() {
+        vec![50, 100, 200, 400, 800]
+    } else {
+        vec![50, 100, 200, 400]
+    }
+}
+
+/// The largest network included under the current settings.
+pub fn largest_n() -> usize {
+    if full() {
+        800
+    } else {
+        400
+    }
+}
+
+/// Prints a title and a column header line.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    let line: Vec<String> = columns.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Prints one row of formatted cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float cell.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_seed_window() {
+        // Do not set env vars in tests (they are process-global); just
+        // exercise the default path when the vars are absent.
+        if std::env::var("PQS_SEEDS").is_err() {
+            assert_eq!(seeds(3), vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.912), "0.912");
+        assert_eq!(f(13.37), "13.4");
+        assert_eq!(f(456.7), "457");
+    }
+}
+
+/// A workload scaled for single-core benchmarking: `adv` advertisements
+/// paced to the network size (heavier routing load at larger `n` needs a
+/// longer window to avoid melting the medium) and `lkp` lookups at the
+/// paper's ~2/s.
+pub fn bench_workload(adv: usize, lkp: usize, n: usize) -> pqs_core::workload::WorkloadConfig {
+    use pqs_sim::{SimDuration, SimTime};
+    let adv_secs = ((adv as f64) * (n as f64 / 250.0).max(0.4)).ceil() as u64;
+    pqs_core::workload::WorkloadConfig {
+        advertisements: adv,
+        lookups: lkp,
+        lookers: 25.min(lkp.max(1)),
+        start: SimTime::from_secs(5),
+        advertise_window: SimDuration::from_secs(adv_secs.max(1)),
+        phase_gap: SimDuration::from_secs(20),
+        lookup_window: SimDuration::from_secs(((lkp as u64) / 2).max(1)),
+        present_fraction: if adv == 0 { 0.0 } else { 1.0 },
+    }
+}

@@ -1,0 +1,108 @@
+//! Network-size estimation from random-walk collisions (§6.3).
+//!
+//! Quorum sizing needs (an upper bound on) `n`. The paper's technique:
+//! draw uniform samples with Maximum-Degree random walks and count
+//! birthday-paradox collisions — `E[collisions] ≈ k(k−1)/(2n)` for `k`
+//! samples — as in Massoulié et al. 2007 / Bar-Yossef et al. 2008.
+//! Overestimates are safe: they only add communication cost, never hurt
+//! the intersection probability.
+
+use pqs_graph::{walks, Graph};
+use rand::Rng;
+
+/// Point estimate `n̂ = k(k−1)/(2c)` from `k` uniform samples containing
+/// `c` colliding (unordered) pairs. Returns `None` when no collisions
+/// were observed (the estimator needs at least one).
+pub fn estimate_from_collisions(samples: usize, collisions: usize) -> Option<f64> {
+    if collisions == 0 || samples < 2 {
+        return None;
+    }
+    Some(samples as f64 * (samples as f64 - 1.0) / (2.0 * collisions as f64))
+}
+
+/// Counts colliding pairs in a sample multiset.
+pub fn collision_pairs(samples: &[usize]) -> usize {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mut pairs = 0;
+    let mut run = 1;
+    for window in sorted.windows(2) {
+        if window[0] == window[1] {
+            run += 1;
+        } else {
+            pairs += run * (run - 1) / 2;
+            run = 1;
+        }
+    }
+    pairs + run * (run - 1) / 2
+}
+
+/// Estimates the size of `graph` by drawing `k` approximately uniform
+/// samples (Maximum-Degree walks of `≈ n_bound/2` steps, where `n_bound`
+/// is a loose upper bound on the size, e.g. from Feige-style bounds) and
+/// applying [`estimate_from_collisions`]. Returns `None` if no collision
+/// occurred — retry with more samples.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range or the graph is empty.
+pub fn estimate_graph_size<R: Rng + ?Sized>(
+    graph: &Graph,
+    start: usize,
+    k: usize,
+    n_bound: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    // Twice the nominal mixing time: MD walks pay for their self-loops,
+    // and an under-mixed walk correlates samples (biasing the estimate
+    // low). Chaining each walk from the previous endpoint decorrelates
+    // the samples further.
+    let steps = 2 * pqs_graph::bounds::md_mixing_steps(n_bound).max(1);
+    let mut at = start;
+    let samples: Vec<usize> = (0..k)
+        .map(|_| {
+            at = walks::uniform_sample_md(graph, at, steps, rng);
+            at
+        })
+        .collect();
+    estimate_from_collisions(k, collision_pairs(&samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqs_graph::rgg::RggConfig;
+    use pqs_sim::rng;
+
+    #[test]
+    fn collision_counting() {
+        assert_eq!(collision_pairs(&[1, 2, 3]), 0);
+        assert_eq!(collision_pairs(&[1, 1, 2]), 1);
+        assert_eq!(collision_pairs(&[1, 1, 1]), 3);
+        assert_eq!(collision_pairs(&[2, 1, 1, 2, 3, 3]), 3);
+        assert_eq!(collision_pairs(&[]), 0);
+    }
+
+    #[test]
+    fn estimator_formula() {
+        assert_eq!(estimate_from_collisions(10, 0), None);
+        assert_eq!(estimate_from_collisions(1, 3), None);
+        // 100 samples, 5 collisions → 100·99/10 = 990.
+        assert!((estimate_from_collisions(100, 5).unwrap() - 990.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_rgg_size_within_factor_two() {
+        let mut r = rng::stream(31, 0);
+        let net = RggConfig::with_avg_degree(200, 12.0).generate(&mut r);
+        let comp = net.graph().components().remove(0);
+        let n_true = comp.len() as f64;
+        // ~60 samples should produce ≈ 60·59/(2·200) ≈ 9 collisions.
+        let est = estimate_graph_size(net.graph(), comp[0], 60, 250, &mut r)
+            .expect("collisions expected at this sample count");
+        assert!(
+            est > n_true / 2.0 && est < n_true * 2.0,
+            "estimate {est} vs true {n_true}"
+        );
+    }
+}

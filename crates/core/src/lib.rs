@@ -1,0 +1,73 @@
+//! # pqs-core — probabilistic quorum systems in wireless ad hoc networks
+//!
+//! The primary contribution of the reproduced paper (Friedman, Kliot,
+//! Avin; DSN'08 / ACM TOCS 2010): probabilistic ε-intersecting biquorum
+//! systems for MANETs, with several access strategies that may be mixed
+//! asymmetrically.
+//!
+//! - [`spec`]: biquorum specifications, the mix-and-match intersection
+//!   bound (Lemma 5.2) and the Corollary 5.3 sizing rule,
+//! - [`analysis`]: churn degradation closed forms (§6.1), optimal
+//!   asymmetric sizing (Lemma 5.6), asymptotic cost tables (Figs. 3, 6),
+//! - [`membership`]: converged random membership views (RaWMS-style),
+//! - [`store`]: the location-service store with owner/bystander roles,
+//! - [`stack`]: the protocol stack implementing all access strategies —
+//!   RANDOM, RANDOM-OPT, PATH, UNIQUE-PATH, FLOODING — plus RW salvation,
+//!   reply-path reduction, reply-path local repair, early halting,
+//!   caching and promiscuous replies,
+//! - [`estimator`]: network-size estimation from walk collisions (§6.3),
+//! - [`workload`] / [`runner`]: the paper's simulation scenarios and the
+//!   multi-seed experiment runner.
+//!
+//! # Examples
+//!
+//! Size a biquorum and check the guarantee:
+//!
+//! ```
+//! use pqs_core::spec::{self, AccessStrategy, BiquorumSpec};
+//!
+//! let bq = BiquorumSpec::asymmetric_for_epsilon(
+//!     AccessStrategy::Random, AccessStrategy::UniquePath, 400, 0.1, 2.0);
+//! assert!(bq.intersection_lower_bound(400).unwrap() >= 0.9);
+//! // Corollary 5.3 directly:
+//! assert!(f64::from(bq.advertise.size * bq.lookup.size)
+//!     >= spec::min_quorum_product(400, 0.1));
+//! ```
+//!
+//! Run a small end-to-end scenario (advertise + lookup over a simulated
+//! static network):
+//!
+//! ```
+//! use pqs_core::runner::{run_scenario, ScenarioConfig};
+//! use pqs_core::workload::WorkloadConfig;
+//!
+//! let mut cfg = ScenarioConfig::paper(50);
+//! cfg.workload = WorkloadConfig::small(5, 10);
+//! let metrics = run_scenario(&cfg, 42);
+//! assert_eq!(metrics.lookups, 10);
+//! assert!(metrics.hit_ratio() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod estimator;
+pub mod membership;
+pub mod messages;
+pub mod pubsub;
+pub mod register;
+pub mod runner;
+pub mod service;
+pub mod spec;
+pub mod stack;
+pub mod store;
+pub mod workload;
+
+pub use membership::Membership;
+pub use messages::{AppMsg, OpId};
+pub use runner::{run_scenario, run_seeds, Aggregate, RunMetrics, ScenarioConfig};
+pub use service::{Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig};
+pub use spec::{AccessStrategy, BiquorumSpec, QuorumSpec};
+pub use stack::{QuorumNet, QuorumStack};
+pub use store::{Key, Role, Store, Value};

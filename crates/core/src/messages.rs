@@ -1,0 +1,178 @@
+//! Application-level protocol messages of the quorum-backed location
+//! service.
+
+use crate::store::{Key, Value};
+use pqs_net::NodeId;
+
+/// Operation identifier (globally unique within one simulation).
+pub type OpId = u64;
+
+/// What a quorum access does at each node it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumAction {
+    /// Store `key → value` (advertise access).
+    Advertise {
+        /// The key being advertised.
+        key: Key,
+        /// The value (e.g. encoded location).
+        value: Value,
+    },
+    /// Look `key` up (lookup access).
+    Lookup {
+        /// The key being looked up.
+        key: Key,
+    },
+}
+
+impl QuorumAction {
+    /// The key this action concerns.
+    pub fn key(self) -> Key {
+        match self {
+            QuorumAction::Advertise { key, .. } | QuorumAction::Lookup { key } => key,
+        }
+    }
+
+    /// Returns `true` for lookup actions.
+    pub fn is_lookup(self) -> bool {
+        matches!(self, QuorumAction::Lookup { .. })
+    }
+}
+
+/// A random-walk quorum access in flight (PATH / UNIQUE-PATH, §4.2–4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkMsg {
+    /// The operation this walk serves.
+    pub op: OpId,
+    /// The node that started the walk.
+    pub origin: NodeId,
+    /// Advertise or lookup.
+    pub action: QuorumAction,
+    /// Target quorum size: distinct nodes to visit.
+    pub target: u32,
+    /// Self-avoiding (UNIQUE-PATH) if `true`.
+    pub unique: bool,
+    /// Nodes visited so far, in first-visit order (origin first). Stored
+    /// in the message header exactly as §4.2 describes; for
+    /// `|Q| = O(√n)` this is a modest overhead and doubles as the reverse
+    /// reply path.
+    pub visited: Vec<NodeId>,
+}
+
+/// A reply travelling back along the reverse path of a walk (§4.2) or
+/// placed on a scoped-routing repair segment (§6.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyMsg {
+    /// The lookup operation being answered.
+    pub op: OpId,
+    /// The key that was looked up.
+    pub key: Key,
+    /// The value found.
+    pub value: Value,
+    /// Remaining reverse path: `path[0]` is the lookup originator and the
+    /// *last* element is the next hop. Each hop pops itself off the end.
+    pub path: Vec<NodeId>,
+}
+
+/// A TTL-scoped flood access (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloodMsg {
+    /// The operation this flood serves.
+    pub op: OpId,
+    /// The flood originator.
+    pub origin: NodeId,
+    /// Unique flood id (duplicate suppression, reverse-parent recording).
+    pub flood: u64,
+    /// Remaining TTL.
+    pub ttl: u8,
+    /// Advertise or lookup.
+    pub action: QuorumAction,
+}
+
+/// A flood lookup reply travelling back hop-by-hop along recorded flood
+/// parents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloodReplyMsg {
+    /// The lookup operation being answered.
+    pub op: OpId,
+    /// The key that was looked up.
+    pub key: Key,
+    /// The value found.
+    pub value: Value,
+    /// The flood id whose parent chain the reply follows.
+    pub flood: u64,
+    /// The lookup originator.
+    pub origin: NodeId,
+}
+
+/// Everything the location service puts on the wire.
+///
+/// Routed variants (`Store`, `LookupReq`, `LookupReply`) travel through
+/// AODV; the rest are link-local (one-hop) messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppMsg {
+    /// Routed advertise: store at the destination (RANDOM / RANDOM-OPT).
+    Store {
+        /// Operation id.
+        op: OpId,
+        /// Key to store.
+        key: Key,
+        /// Value to store.
+        value: Value,
+    },
+    /// Routed lookup probe (RANDOM / RANDOM-OPT).
+    LookupReq {
+        /// Operation id.
+        op: OpId,
+        /// Key to look up.
+        key: Key,
+        /// Where to send the reply.
+        origin: NodeId,
+    },
+    /// Routed lookup answer carrying every value the responder holds for
+    /// the key. An empty list is a miss notification (used by serial
+    /// probing to advance without waiting for the timeout).
+    LookupReply {
+        /// Operation id.
+        op: OpId,
+        /// Key that was looked up.
+        key: Key,
+        /// The values held by the responder (empty on a miss).
+        values: Vec<Value>,
+    },
+    /// A random walk step (one-hop).
+    Walk(WalkMsg),
+    /// A walk reply hop (one-hop, or routed inside a repair segment).
+    WalkReply(ReplyMsg),
+    /// A flood access (one-hop broadcast).
+    Flood(FloodMsg),
+    /// A flood reply hop (one-hop).
+    FloodReply(FloodReplyMsg),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_accessors() {
+        let a = QuorumAction::Advertise { key: 7, value: 9 };
+        let l = QuorumAction::Lookup { key: 7 };
+        assert_eq!(a.key(), 7);
+        assert_eq!(l.key(), 7);
+        assert!(!a.is_lookup());
+        assert!(l.is_lookup());
+    }
+
+    #[test]
+    fn reply_path_conventions() {
+        // path[0] = origin, last = next hop.
+        let reply = ReplyMsg {
+            op: 1,
+            key: 2,
+            value: 3,
+            path: vec![NodeId(0), NodeId(4), NodeId(9)],
+        };
+        assert_eq!(*reply.path.last().unwrap(), NodeId(9));
+        assert_eq!(reply.path[0], NodeId(0));
+    }
+}

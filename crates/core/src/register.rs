@@ -1,0 +1,174 @@
+//! A probabilistically-linearizable read/write register over the
+//! biquorum layer (§10).
+//!
+//! The classic quorum register (Attiya–Bar-Noy–Dolev) implements
+//! `write(v)` as *query a quorum for the current version, then store
+//! `(version+1, v)` at a quorum*, and `read()` as *query a quorum and
+//! return the maximum-version value* (optionally writing it back). Run
+//! over probabilistic quorums, each phase intersects the relevant
+//! previous quorum with probability ≥ 1−ε, yielding the *probabilistic
+//! linearizability* of Gramoli 2007 that the paper points to.
+//!
+//! Versions and data share the service's `u64` values:
+//! `value = version << 32 | data` — data is truncated to 32 bits.
+//!
+//! Reads need the *set* of values a lookup gathered, so configure the
+//! stack with a multi-reply lookup (parallel RANDOM fan-out or
+//! flooding); an early-halting walk returns one value only, which
+//! degrades the register to regular (not atomic) semantics.
+
+use crate::messages::OpId;
+use crate::stack::{QuorumNet, QuorumStack};
+use crate::store::{Key, Value};
+use pqs_net::NodeId;
+
+/// Packs `(version, data)` into a stored value.
+pub fn pack(version: u32, data: u32) -> Value {
+    (u64::from(version) << 32) | u64::from(data)
+}
+
+/// Splits a stored value into `(version, data)`.
+pub fn unpack(value: Value) -> (u32, u32) {
+    ((value >> 32) as u32, (value & 0xFFFF_FFFF) as u32)
+}
+
+/// Phase state of an in-flight register operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Querying the lookup quorum for the newest version.
+    Query { write_data: Option<u32> },
+    /// Writing the new version to the advertise quorum.
+    Store,
+}
+
+/// An in-flight register operation (read or write).
+#[derive(Debug)]
+pub struct RegisterOp {
+    key: Key,
+    node: NodeId,
+    phase: Phase,
+    query_op: OpId,
+    store_op: Option<OpId>,
+    result: Option<(u32, u32)>,
+}
+
+impl RegisterOp {
+    /// Starts a read of `key` from `node`.
+    pub fn read(stack: &mut QuorumStack, net: &mut QuorumNet, node: NodeId, key: Key) -> Self {
+        let query_op = stack.lookup(net, node, key);
+        RegisterOp {
+            key,
+            node,
+            phase: Phase::Query { write_data: None },
+            query_op,
+            store_op: None,
+            result: None,
+        }
+    }
+
+    /// Starts a write of `data` to `key` from `node`.
+    pub fn write(
+        stack: &mut QuorumStack,
+        net: &mut QuorumNet,
+        node: NodeId,
+        key: Key,
+        data: u32,
+    ) -> Self {
+        let query_op = stack.lookup(net, node, key);
+        RegisterOp {
+            key,
+            node,
+            phase: Phase::Query {
+                write_data: Some(data),
+            },
+            query_op,
+            store_op: None,
+            result: None,
+        }
+    }
+
+    /// Advances the state machine; call after running the network past a
+    /// phase horizon. Returns `true` once the operation has finished.
+    ///
+    /// Reads perform the ABD write-back: the freshest value observed is
+    /// re-advertised so that a subsequent read cannot observe an older
+    /// one (probabilistically).
+    pub fn pump(&mut self, stack: &mut QuorumStack, net: &mut QuorumNet) -> bool {
+        match self.phase {
+            Phase::Query { write_data } => {
+                // The caller controls the query deadline: pump is called
+                // after running the network past the horizon, and works
+                // with whatever replies arrived (a parallel miss produces
+                // no completion event).
+                let Some(record) = stack.op(self.query_op) else {
+                    return false;
+                };
+                let newest = record
+                    .values_seen
+                    .iter()
+                    .copied()
+                    .map(unpack)
+                    .max_by_key(|&(version, _)| version);
+                match write_data {
+                    Some(data) => {
+                        let version = newest.map(|(v, _)| v).unwrap_or(0) + 1;
+                        self.result = Some((version, data));
+                        self.store_op =
+                            Some(stack.advertise(net, self.node, self.key, pack(version, data)));
+                        self.phase = Phase::Store;
+                        false
+                    }
+                    None => match newest {
+                        Some((version, data)) => {
+                            self.result = Some((version, data));
+                            // ABD write-back.
+                            self.store_op = Some(stack.advertise(
+                                net,
+                                self.node,
+                                self.key,
+                                pack(version, data),
+                            ));
+                            self.phase = Phase::Store;
+                            false
+                        }
+                        None => {
+                            // Nothing written yet: the read returns ⊥.
+                            self.result = None;
+                            self.phase = Phase::Store;
+                            self.store_op = None;
+                            true
+                        }
+                    },
+                }
+            }
+            Phase::Store => self.store_op.is_none_or(|op| {
+                stack
+                    .op(op)
+                    .is_some_and(|r| r.stores_placed > 0 || r.completed.is_some())
+            }),
+        }
+    }
+
+    /// The `(version, data)` this operation settled on: for writes, the
+    /// version it installed; for reads, the value read (`None` = ⊥).
+    pub fn result(&self) -> Option<(u32, u32)> {
+        self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (v, d) in [(0, 0), (1, 42), (u32::MAX, u32::MAX), (7, 0xDEAD_BEEF)] {
+            assert_eq!(unpack(pack(v, d)), (v, d));
+        }
+    }
+
+    #[test]
+    fn version_ordering_is_numeric() {
+        assert!(pack(2, 0) > pack(1, u32::MAX), "version dominates data");
+    }
+}

@@ -1,0 +1,420 @@
+//! The experiment runner: builds a network + quorum stack, drives the
+//! paper's two-phase workload (advertise, then look up), applies churn
+//! between the phases (§8.7), and collects the metrics the paper reports.
+
+use crate::service::{OpKind, QuorumCounters, ServiceConfig};
+use crate::stack::{QuorumNet, QuorumStack};
+use crate::workload::{Workload, WorkloadConfig};
+use pqs_net::{NetConfig, Network};
+use pqs_sim::rng::{self, streams};
+use pqs_sim::SimDuration;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Churn applied between the advertise and lookup phases, mirroring the
+/// §8.7 experiment ("after all advertisements finished, we fail every
+/// node with a given probability or/and add new nodes").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPlan {
+    /// Fraction of alive nodes crashed.
+    pub fail_fraction: f64,
+    /// Fraction (of the pre-churn size) of fresh nodes joined.
+    pub join_fraction: f64,
+    /// Adjust `|Qℓ|` to the post-churn network size (`C√n(t)`, §6.1).
+    pub adjust_lookup: bool,
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Substrate configuration (node count, density, mobility, PHY/MAC).
+    pub net: NetConfig,
+    /// Quorum service configuration (strategies, sizes, optimisations).
+    pub service: ServiceConfig,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Optional churn between the phases.
+    pub churn: Option<ChurnPlan>,
+    /// Extra time after the last lookup for replies to drain.
+    pub drain: SimDuration,
+}
+
+impl ScenarioConfig {
+    /// The paper's default scenario for `n` nodes (static network; set
+    /// `net.mobility` for mobile runs).
+    pub fn paper(n: usize) -> Self {
+        let mut net = NetConfig::paper(n);
+        net.mobility = pqs_net::MobilityModel::Static;
+        ScenarioConfig {
+            net,
+            service: ServiceConfig::paper_default(n),
+            workload: WorkloadConfig::default(),
+            churn: None,
+            drain: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Cumulative message counts at a snapshot instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Routed data hop transmissions (stores, probes, routed replies,
+    /// repair segments) — the paper's "number of messages" for routed
+    /// strategies.
+    pub data_tx: u64,
+    /// AODV control transmissions — the paper's "additional routing
+    /// overhead".
+    pub control_tx: u64,
+    /// Link-local strategy transmissions (walk steps, reverse-path reply
+    /// hops, floods).
+    pub link_tx: u64,
+    /// All PHY transmissions (including MAC overhead; diagnostics).
+    pub phy_tx: u64,
+}
+
+impl PhaseStats {
+    fn minus(self, earlier: PhaseStats) -> PhaseStats {
+        PhaseStats {
+            data_tx: self.data_tx - earlier.data_tx,
+            control_tx: self.control_tx - earlier.control_tx,
+            link_tx: self.link_tx - earlier.link_tx,
+            phy_tx: self.phy_tx - earlier.phy_tx,
+        }
+    }
+
+    /// Application-visible messages (routed hops + link-local sends).
+    pub fn app_tx(&self) -> u64 {
+        self.data_tx + self.link_tx
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// The seed of this run.
+    pub seed: u64,
+    /// Nodes alive at the start.
+    pub n: usize,
+    /// Advertise operations issued.
+    pub advertises: usize,
+    /// Lookup operations issued.
+    pub lookups: usize,
+    /// Lookups whose originator received the value (the paper's hit
+    /// ratio numerator).
+    pub hits: usize,
+    /// Lookups that touched a holder of the key, whether or not the
+    /// reply survived (Fig. 13(b)'s intersection probability numerator).
+    pub intersections: usize,
+    /// Lookups that lost at least one reply en route.
+    pub reply_drops: usize,
+    /// Messages during the advertise phase.
+    pub advertise_phase: PhaseStats,
+    /// Messages during the lookup phase (including drain).
+    pub lookup_phase: PhaseStats,
+    /// Strategy counters at the end of the run.
+    pub counters: QuorumCounters,
+    /// Mean lookup completion latency over hits, in seconds.
+    pub mean_hit_latency_s: f64,
+}
+
+impl RunMetrics {
+    /// Fraction of lookups answered at the originator.
+    pub fn hit_ratio(&self) -> f64 {
+        ratio(self.hits, self.lookups)
+    }
+
+    /// Fraction of lookups whose quorums intersected.
+    pub fn intersection_ratio(&self) -> f64 {
+        ratio(self.intersections, self.lookups)
+    }
+
+    /// Application messages per advertise access.
+    pub fn msgs_per_advertise(&self) -> f64 {
+        ratio64(self.advertise_phase.app_tx(), self.advertises)
+    }
+
+    /// Routing control messages per advertise access.
+    pub fn routing_per_advertise(&self) -> f64 {
+        ratio64(self.advertise_phase.control_tx, self.advertises)
+    }
+
+    /// Application messages per lookup access.
+    pub fn msgs_per_lookup(&self) -> f64 {
+        ratio64(self.lookup_phase.app_tx(), self.lookups)
+    }
+
+    /// Routing control messages per lookup access.
+    pub fn routing_per_lookup(&self) -> f64 {
+        ratio64(self.lookup_phase.control_tx, self.lookups)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn ratio64(num: u64, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn snapshot(net: &QuorumNet, stack: &QuorumStack) -> PhaseStats {
+    let routing = stack.router.stats();
+    PhaseStats {
+        data_tx: routing.data_tx,
+        control_tx: routing.control_tx(),
+        link_tx: stack.counters().link_tx(),
+        phy_tx: net.stats().phy_tx,
+    }
+}
+
+/// Runs one scenario with one seed.
+pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
+    let mut net_cfg = cfg.net.clone();
+    net_cfg.seed = seed;
+    net_cfg.promiscuous =
+        cfg.service.promiscuous_replies || cfg.service.caching || net_cfg.promiscuous;
+    let mut net: QuorumNet = Network::new(net_cfg);
+    let mut stack = QuorumStack::new(&net, cfg.service, seed);
+    let n0 = net.alive_nodes().len();
+
+    let mut workload_rng = rng::stream(seed, streams::WORKLOAD);
+    let workload = Workload::generate(&cfg.workload, &net.alive_nodes(), &mut workload_rng);
+
+    // Phase 1: advertisements.
+    for &(at, who, key, value) in &workload.advertisements {
+        net.run(&mut stack, at);
+        stack.advertise(&mut net, who, key, value);
+    }
+    let advertise_end = cfg.workload.lookup_start();
+    net.run(&mut stack, advertise_end);
+
+    // Optional churn between the phases.
+    if let Some(plan) = cfg.churn {
+        apply_churn(&mut net, &mut stack, plan, seed, n0);
+        // Let joins integrate (heartbeats) before lookups begin.
+        let settle = net.now() + SimDuration::from_secs(15);
+        net.run(&mut stack, settle);
+    }
+    let after_advertise = snapshot(&net, &stack);
+
+    // Phase 2: lookups. Dead lookers are substituted by live nodes (the
+    // paper's lookups are always issued by live nodes).
+    let mut substitute_rng = rng::stream(seed, streams::WORKLOAD ^ 0x10ed);
+    for &(at, who, key) in &workload.lookups {
+        let at = at.max(net.now());
+        net.run(&mut stack, at);
+        let who = if net.is_alive(who) {
+            who
+        } else {
+            let alive = net.alive_nodes();
+            *alive.choose(&mut substitute_rng).expect("network alive")
+        };
+        stack.lookup(&mut net, who, key);
+    }
+    let horizon = cfg.workload.lookup_end().max(net.now()) + cfg.drain;
+    net.run(&mut stack, horizon);
+    let final_stats = snapshot(&net, &stack);
+
+    // Outcomes.
+    let mut metrics = RunMetrics {
+        seed,
+        n: n0,
+        advertises: 0,
+        lookups: 0,
+        hits: 0,
+        intersections: 0,
+        reply_drops: 0,
+        advertise_phase: after_advertise,
+        lookup_phase: final_stats.minus(after_advertise),
+        counters: *stack.counters(),
+        mean_hit_latency_s: 0.0,
+    };
+    let mut latency_sum = 0.0;
+    for (_, rec) in stack.ops() {
+        match rec.kind {
+            OpKind::Advertise => metrics.advertises += 1,
+            OpKind::Lookup => {
+                metrics.lookups += 1;
+                if rec.replied {
+                    metrics.hits += 1;
+                    if let Some(done) = rec.completed {
+                        latency_sum += (done - rec.started).as_secs_f64();
+                    }
+                }
+                if rec.intersected {
+                    metrics.intersections += 1;
+                }
+                if rec.reply_dropped {
+                    metrics.reply_drops += 1;
+                }
+            }
+        }
+    }
+    if metrics.hits > 0 {
+        metrics.mean_hit_latency_s = latency_sum / metrics.hits as f64;
+    }
+    metrics
+}
+
+fn apply_churn(
+    net: &mut QuorumNet,
+    stack: &mut QuorumStack,
+    plan: ChurnPlan,
+    seed: u64,
+    n0: usize,
+) {
+    let mut churn_rng = rng::stream(seed, streams::CHURN);
+    let now = net.now();
+    let mut alive = net.alive_nodes();
+    alive.shuffle(&mut churn_rng);
+    let fail_count = (plan.fail_fraction * alive.len() as f64).round() as usize;
+    for &victim in alive.iter().take(fail_count) {
+        net.schedule_fail(victim, now + SimDuration::from_millis(1));
+    }
+    let join_count = (plan.join_fraction * n0 as f64).round() as usize;
+    for _ in 0..join_count {
+        let fresh = net.add_node();
+        net.schedule_join(fresh, now + SimDuration::from_millis(2));
+    }
+    if plan.adjust_lookup {
+        // |Qℓ(t)| = C·√n(t) with C fixed by the initial sizing (§6.1).
+        let old = stack.config().spec.lookup.size as f64;
+        let c = old / (n0 as f64).sqrt();
+        let n_t = n0 - fail_count + join_count;
+        stack.config_mut().spec.lookup.size = (c * (n_t as f64).sqrt()).round().max(1.0) as u32;
+    }
+}
+
+/// Runs a scenario over several seeds in parallel (one thread per seed).
+pub fn run_seeds(cfg: &ScenarioConfig, seeds: &[u64]) -> Vec<RunMetrics> {
+    let mut out: Vec<Option<RunMetrics>> = vec![None; seeds.len()];
+    crossbeam::thread::scope(|scope| {
+        for (slot, &seed) in out.iter_mut().zip(seeds) {
+            scope.spawn(move |_| {
+                *slot = Some(run_scenario(cfg, seed));
+            });
+        }
+    })
+    .expect("scenario thread panicked");
+    out.into_iter()
+        .map(|m| m.expect("all slots filled"))
+        .collect()
+}
+
+/// Mean metrics over several runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean hit ratio.
+    pub hit_ratio: f64,
+    /// Mean intersection ratio.
+    pub intersection_ratio: f64,
+    /// Mean application messages per advertise.
+    pub msgs_per_advertise: f64,
+    /// Mean routing control messages per advertise.
+    pub routing_per_advertise: f64,
+    /// Mean application messages per lookup.
+    pub msgs_per_lookup: f64,
+    /// Mean routing control messages per lookup.
+    pub routing_per_lookup: f64,
+    /// Mean fraction of lookups with dropped replies.
+    pub reply_drop_ratio: f64,
+    /// Mean hit latency (seconds).
+    pub mean_hit_latency_s: f64,
+    /// Sample standard deviation of the per-run hit ratios (0 for a
+    /// single run) — a quick read on whether more seeds are needed.
+    pub hit_ratio_stddev: f64,
+}
+
+/// Aggregates run metrics into means.
+pub fn aggregate(runs: &[RunMetrics]) -> Aggregate {
+    if runs.is_empty() {
+        return Aggregate::default();
+    }
+    let k = runs.len() as f64;
+    Aggregate {
+        runs: runs.len(),
+        hit_ratio: runs.iter().map(RunMetrics::hit_ratio).sum::<f64>() / k,
+        intersection_ratio: runs.iter().map(RunMetrics::intersection_ratio).sum::<f64>() / k,
+        msgs_per_advertise: runs.iter().map(RunMetrics::msgs_per_advertise).sum::<f64>() / k,
+        routing_per_advertise: runs
+            .iter()
+            .map(RunMetrics::routing_per_advertise)
+            .sum::<f64>()
+            / k,
+        msgs_per_lookup: runs.iter().map(RunMetrics::msgs_per_lookup).sum::<f64>() / k,
+        routing_per_lookup: runs.iter().map(RunMetrics::routing_per_lookup).sum::<f64>() / k,
+        reply_drop_ratio: runs
+            .iter()
+            .map(|r| ratio(r.reply_drops, r.lookups))
+            .sum::<f64>()
+            / k,
+        mean_hit_latency_s: runs.iter().map(|r| r.mean_hit_latency_s).sum::<f64>() / k,
+        hit_ratio_stddev: {
+            let mean = runs.iter().map(RunMetrics::hit_ratio).sum::<f64>() / k;
+            if runs.len() < 2 {
+                0.0
+            } else {
+                (runs
+                    .iter()
+                    .map(|r| (r.hit_ratio() - mean).powi(2))
+                    .sum::<f64>()
+                    / (k - 1.0))
+                    .sqrt()
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_stats_delta_and_sum() {
+        let early = PhaseStats {
+            data_tx: 10,
+            control_tx: 20,
+            link_tx: 30,
+            phy_tx: 100,
+        };
+        let late = PhaseStats {
+            data_tx: 15,
+            control_tx: 25,
+            link_tx: 40,
+            phy_tx: 180,
+        };
+        let delta = late.minus(early);
+        assert_eq!(delta.data_tx, 5);
+        assert_eq!(delta.app_tx(), 15);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominator() {
+        let m = RunMetrics {
+            seed: 0,
+            n: 0,
+            advertises: 0,
+            lookups: 0,
+            hits: 0,
+            intersections: 0,
+            reply_drops: 0,
+            advertise_phase: PhaseStats::default(),
+            lookup_phase: PhaseStats::default(),
+            counters: QuorumCounters::default(),
+            mean_hit_latency_s: 0.0,
+        };
+        assert_eq!(m.hit_ratio(), 0.0);
+        assert_eq!(m.msgs_per_lookup(), 0.0);
+        assert_eq!(aggregate(&[]).runs, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Service-level configuration, per-operation records and counters.
+
+use crate::spec::BiquorumSpec;
+use crate::store::{Key, Value};
+use pqs_net::NodeId;
+use pqs_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How RANDOM / RANDOM-OPT lookup probes are issued (§8.2: parallel
+/// probing forgoes early halting; serial probing halves the expected
+/// accessed nodes at the cost of latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fanout {
+    /// Probe quorum members one at a time, stopping on the first hit.
+    Serial,
+    /// Probe all quorum members at once.
+    Parallel,
+}
+
+/// Reply-path repair policy for walk replies under mobility (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairMode {
+    /// Drop the reply when a reverse-path hop breaks.
+    None,
+    /// Try subsequent reverse-path nodes through TTL-scoped routing; if
+    /// every scoped segment fails and `global_fallback` is set, route the
+    /// reply to the originator with an unrestricted search as the last
+    /// resort (§6.2 recommends TTL 3 and describes both options).
+    Local {
+        /// Scope of each repair search (paper: 3).
+        ttl: u8,
+        /// Fall back to a network-wide route to the originator.
+        global_fallback: bool,
+    },
+}
+
+/// Configuration of the quorum-backed location service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// The biquorum: strategies and sizes for both sides.
+    pub spec: BiquorumSpec,
+    /// Probe fan-out for routed lookups.
+    pub lookup_fanout: Fanout,
+    /// Walks stop at the first hit (§7.1; requires the relaxed
+    /// intersection semantics of §2.5).
+    pub early_halting: bool,
+    /// Skip ahead on the reverse reply path when a later node is already
+    /// a neighbour (§7.2).
+    pub reply_path_reduction: bool,
+    /// Reverse-path repair policy (§6.2).
+    pub repair: RepairMode,
+    /// Re-send a walk step to another neighbour when the MAC reports a
+    /// failure (RW salvation, §6.2).
+    pub rw_salvation: bool,
+    /// Cache passing advertisements/replies as bystander entries (§7.1).
+    pub caching: bool,
+    /// Nodes overhearing a lookup walk answer from their own store
+    /// (promiscuous optimisation, §7.2 — "left for future work" in the
+    /// paper).
+    pub promiscuous_replies: bool,
+    /// How long a serial prober waits for a reply before moving on.
+    pub probe_timeout: SimDuration,
+    /// Spacing between the routed store sends of one advertise access.
+    /// Bursting |Qa| route discoveries at once melts the medium; pacing
+    /// them keeps contention (and thus MAC losses) low.
+    pub store_spacing: SimDuration,
+    /// Membership view size as a multiple of √n (paper: 2). Raise it when
+    /// the advertise quorum exceeds 2√n (e.g. the Fig. 14(e) proactive
+    /// 3√n experiment).
+    pub membership_view_factor: f64,
+    /// Expanding-ring flooding (§4.4): lookup floods start at TTL 1 and
+    /// re-flood with TTL+1 after `expanding_ring_timeout` until the reply
+    /// arrives or the spec's TTL is reached. Robust to unknown densities
+    /// at an increased message cost.
+    pub expanding_ring: bool,
+    /// How long each expanding-ring stage waits before growing the TTL.
+    pub expanding_ring_timeout: SimDuration,
+}
+
+impl ServiceConfig {
+    /// The paper's default setup for `n` nodes: RANDOM advertise with
+    /// `|Qa| = 2√n`, UNIQUE-PATH lookup with `|Qℓ| = 1.15√n`, early
+    /// halting, path reduction, salvation and local repair on.
+    pub fn paper_default(n: usize) -> Self {
+        use crate::spec::{AccessStrategy, QuorumSpec};
+        ServiceConfig {
+            spec: BiquorumSpec::new(
+                QuorumSpec::new(AccessStrategy::Random, crate::spec::paper_advertise_size(n)),
+                QuorumSpec::new(AccessStrategy::UniquePath, crate::spec::paper_lookup_size(n)),
+            ),
+            lookup_fanout: Fanout::Serial,
+            early_halting: true,
+            reply_path_reduction: true,
+            repair: RepairMode::Local {
+                ttl: 3,
+                global_fallback: true,
+            },
+            rw_salvation: true,
+            caching: false,
+            promiscuous_replies: false,
+            probe_timeout: SimDuration::from_secs(3),
+            store_spacing: SimDuration::from_millis(150),
+            membership_view_factor: 2.0,
+            expanding_ring: false,
+            expanding_ring_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// What an operation was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// An advertise (publish) access.
+    Advertise,
+    /// A lookup access.
+    Lookup,
+}
+
+/// The life of one operation, as recorded by the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Advertise or lookup.
+    pub kind: OpKind,
+    /// The key.
+    pub key: Key,
+    /// The issuing node.
+    pub origin: NodeId,
+    /// When the operation was issued.
+    pub started: SimTime,
+    /// Lookup only: some accessed node held the key — the quorums
+    /// intersected (Fig. 13(b)'s "intersection probability", which
+    /// ignores reply losses).
+    pub intersected: bool,
+    /// Lookup only: the originator received the value (the paper's hit
+    /// ratio).
+    pub replied: bool,
+    /// When the reply arrived (lookups) or the access completed.
+    pub completed: Option<SimTime>,
+    /// The value returned to the originator.
+    pub value: Option<Value>,
+    /// At least one reply for this operation was dropped en route.
+    pub reply_dropped: bool,
+    /// Advertise only: number of nodes that stored the mapping.
+    pub stores_placed: u32,
+    /// Every value that reached the originator (parallel probes and
+    /// floods produce several). Quorum-based register implementations
+    /// take the maximum-version element (§10).
+    pub values_seen: Vec<Value>,
+}
+
+impl OpRecord {
+    /// Creates a fresh record.
+    pub fn new(kind: OpKind, key: Key, origin: NodeId, started: SimTime) -> Self {
+        OpRecord {
+            kind,
+            key,
+            origin,
+            started,
+            intersected: false,
+            replied: false,
+            completed: None,
+            value: None,
+            reply_dropped: false,
+            stores_placed: 0,
+            values_seen: Vec::new(),
+        }
+    }
+}
+
+/// Message counters for the strategies' link-local traffic. Routed
+/// traffic (RANDOM probes, stores, repair segments) is counted by the
+/// router's [`pqs_routing::RoutingStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuorumCounters {
+    /// Random-walk step transmissions (including salvage re-sends).
+    pub walk_tx: u64,
+    /// Walk-reply hop transmissions (one-hop part only).
+    pub reply_tx: u64,
+    /// Flood broadcast transmissions.
+    pub flood_tx: u64,
+    /// Flood-reply hop transmissions.
+    pub flood_reply_tx: u64,
+    /// Walk steps salvaged to another neighbour after a MAC failure.
+    pub salvations: u64,
+    /// Walks abandoned (no neighbour reachable).
+    pub walks_dropped: u64,
+    /// Reverse-path repairs attempted with scoped routing.
+    pub local_repairs: u64,
+    /// Last-resort global routing repairs.
+    pub global_repairs: u64,
+    /// Replies abandoned en route.
+    pub replies_dropped: u64,
+    /// Serial probes replaced after a routing failure (§6.2 adaptation).
+    pub probe_substitutions: u64,
+    /// Nodes covered by floods (first receptions, origins included) —
+    /// the numerator of Fig. 5's coverage curves.
+    pub flood_covered: u64,
+}
+
+impl QuorumCounters {
+    /// Sum of all link-local strategy transmissions.
+    pub fn link_tx(&self) -> u64 {
+        self.walk_tx + self.reply_tx + self.flood_tx + self.flood_reply_tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AccessStrategy;
+
+    #[test]
+    fn paper_default_shape() {
+        let cfg = ServiceConfig::paper_default(800);
+        assert_eq!(cfg.spec.advertise.strategy, AccessStrategy::Random);
+        assert_eq!(cfg.spec.lookup.strategy, AccessStrategy::UniquePath);
+        assert_eq!(cfg.spec.advertise.size, 57);
+        assert_eq!(cfg.spec.lookup.size, 33);
+        assert!(cfg.spec.has_mix_and_match_guarantee());
+        assert!(cfg.early_halting && cfg.rw_salvation);
+    }
+
+    #[test]
+    fn counters_sum() {
+        let c = QuorumCounters {
+            walk_tx: 1,
+            reply_tx: 2,
+            flood_tx: 3,
+            flood_reply_tx: 4,
+            ..QuorumCounters::default()
+        };
+        assert_eq!(c.link_tx(), 10);
+    }
+
+    #[test]
+    fn op_record_initial_state() {
+        let r = OpRecord::new(OpKind::Lookup, 5, NodeId(3), SimTime::from_secs(1));
+        assert!(!r.intersected && !r.replied && r.completed.is_none());
+        assert_eq!(r.stores_placed, 0);
+    }
+}

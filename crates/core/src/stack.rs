@@ -1,0 +1,1207 @@
+//! The quorum protocol stack: every access strategy of §4, the
+//! maintenance machinery of §6 and the optimisations of §7, implemented
+//! as one [`pqs_net::Stack`] over AODV.
+//!
+//! A [`QuorumStack`] manages the location-service state of *all* nodes of
+//! a simulated network (the usual single-process simulation pattern):
+//! per-node stores, membership views, in-flight walks/floods/probes and
+//! per-operation outcome records.
+
+use crate::membership::Membership;
+use crate::messages::{AppMsg, FloodMsg, FloodReplyMsg, OpId, QuorumAction, ReplyMsg, WalkMsg};
+use crate::service::{Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig};
+use crate::spec::AccessStrategy;
+use crate::store::{Key, Role, Store, Value};
+use pqs_net::{MacDst, Network, NodeId, Stack, Upcall};
+use pqs_routing::{RoutePacket, Router, RouterConfig, RouterEvent, TransitHandle};
+use pqs_sim::rng::{self, streams};
+use pqs_sim::EventId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// The network type this stack runs over.
+pub type QuorumNet = Network<RoutePacket<AppMsg>>;
+
+/// Maximum salvage attempts per walk step and probe substitutions per
+/// lookup (caps defensive retries).
+const MAX_SALVAGE_ATTEMPTS: usize = 5;
+const MAX_PROBE_SUBSTITUTIONS: u32 = 10;
+
+enum LinkCtx {
+    WalkForward {
+        at: NodeId,
+        msg: WalkMsg,
+        tried: Vec<NodeId>,
+    },
+    ReplyForward {
+        at: NodeId,
+        reply: ReplyMsg,
+    },
+    FloodReplyForward {
+        op: OpId,
+    },
+    FireAndForget,
+}
+
+enum TimerCtx {
+    SerialProbe {
+        op: OpId,
+    },
+    DeferredStore {
+        op: OpId,
+        origin: NodeId,
+        key: Key,
+        value: Value,
+        target: NodeId,
+    },
+    ExpandRing {
+        op: OpId,
+        origin: NodeId,
+        key: Key,
+        ttl: u8,
+    },
+}
+
+enum RouteCtx {
+    StoreSend {
+        op: OpId,
+        origin: NodeId,
+        key: Key,
+        value: Value,
+        attempts: u32,
+    },
+    Probe {
+        op: OpId,
+    },
+    ReplyRouted {
+        op: OpId,
+    },
+    Repair {
+        at: NodeId,
+        reply: ReplyMsg,
+        scoped: bool,
+    },
+}
+
+struct SerialLookup {
+    origin: NodeId,
+    key: Key,
+    remaining: VecDeque<NodeId>,
+    timer: Option<EventId>,
+    substitutions: u32,
+}
+
+/// The quorum-backed location service over a simulated MANET.
+///
+/// Use [`QuorumStack::advertise`] and [`QuorumStack::lookup`] to issue
+/// operations between `Network::run` horizons; inspect outcomes with
+/// [`QuorumStack::ops`] and the counters.
+pub struct QuorumStack {
+    /// The AODV router (public for stats access).
+    pub router: Router<AppMsg>,
+    cfg: ServiceConfig,
+    stores: Vec<Store>,
+    membership: Membership,
+    ops: BTreeMap<OpId, OpRecord>,
+    next_op: OpId,
+    next_token: u64,
+    link_ctx: HashMap<u64, LinkCtx>,
+    timer_ctx: HashMap<u64, TimerCtx>,
+    route_ctx: HashMap<u64, RouteCtx>,
+    serial: HashMap<OpId, SerialLookup>,
+    replies_started: HashSet<OpId>,
+    flood_seen: Vec<HashSet<u64>>,
+    flood_parent: Vec<HashMap<u64, NodeId>>,
+    next_flood: u64,
+    counters: QuorumCounters,
+    rng: StdRng,
+}
+
+impl QuorumStack {
+    /// Builds the stack for `net`, with converged membership views of the
+    /// paper's size (`2√n`) over the currently alive nodes.
+    pub fn new(net: &QuorumNet, cfg: ServiceConfig, seed: u64) -> Self {
+        let n = net.node_count();
+        let alive = net.alive_nodes();
+        let mut membership_rng = rng::stream(seed, streams::MEMBERSHIP);
+        let view_size =
+            (cfg.membership_view_factor * (alive.len() as f64).sqrt()).round() as usize;
+        let membership = Membership::converged(n, &alive, view_size.max(1), &mut membership_rng);
+        let needs_tap = cfg.spec.advertise.strategy == AccessStrategy::RandomOpt
+            || cfg.spec.lookup.strategy == AccessStrategy::RandomOpt;
+        let router_cfg = RouterConfig {
+            transit_tap: needs_tap,
+            ..RouterConfig::default()
+        };
+        QuorumStack {
+            router: Router::new(n, router_cfg),
+            cfg,
+            stores: (0..n).map(|_| Store::new()).collect(),
+            membership,
+            ops: BTreeMap::new(),
+            next_op: 0,
+            next_token: 0,
+            link_ctx: HashMap::new(),
+            timer_ctx: HashMap::new(),
+            route_ctx: HashMap::new(),
+            serial: HashMap::new(),
+            replies_started: HashSet::new(),
+            flood_seen: vec![HashSet::new(); n],
+            flood_parent: vec![HashMap::new(); n],
+            next_flood: 0,
+            counters: QuorumCounters::default(),
+            rng: rng::stream(seed, streams::QUORUM),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Mutable configuration access (e.g. to resize the lookup quorum for
+    /// churn experiments, §6.1).
+    pub fn config_mut(&mut self) -> &mut ServiceConfig {
+        &mut self.cfg
+    }
+
+    /// All operation records, in issue order.
+    pub fn ops(&self) -> impl Iterator<Item = (&OpId, &OpRecord)> {
+        self.ops.iter()
+    }
+
+    /// One operation record.
+    pub fn op(&self, op: OpId) -> Option<&OpRecord> {
+        self.ops.get(&op)
+    }
+
+    /// Strategy-level message counters.
+    pub fn counters(&self) -> &QuorumCounters {
+        &self.counters
+    }
+
+    /// A node's store (tests/diagnostics).
+    pub fn store_of(&self, node: NodeId) -> &Store {
+        &self.stores[node.index()]
+    }
+
+    /// The membership service.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    // ------------------------------------------------------------------
+    // Public operations
+    // ------------------------------------------------------------------
+
+    /// Publishes `key → value` from `node` through the advertise quorum.
+    pub fn advertise(&mut self, net: &mut QuorumNet, node: NodeId, key: Key, value: Value) -> OpId {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.ops
+            .insert(op, OpRecord::new(OpKind::Advertise, key, node, net.now()));
+        if !net.is_alive(node) {
+            return op;
+        }
+        let spec = self.cfg.spec.advertise;
+        match spec.strategy {
+            AccessStrategy::Random | AccessStrategy::RandomOpt => {
+                let targets =
+                    self.membership
+                        .pick_quorum(node, spec.size as usize, &mut self.rng);
+                // Pace the stores: bursting |Qa| route discoveries at
+                // once saturates the medium (see ServiceConfig docs).
+                for (i, target) in targets.into_iter().enumerate() {
+                    if i == 0 || self.cfg.store_spacing.is_zero() {
+                        self.send_store(net, node, op, key, value, target, 0);
+                    } else {
+                        let token = self.token();
+                        self.timer_ctx.insert(
+                            token,
+                            TimerCtx::DeferredStore {
+                                op,
+                                origin: node,
+                                key,
+                                value,
+                                target,
+                            },
+                        );
+                        net.set_timer(node, self.cfg.store_spacing * i as u64, token);
+                    }
+                }
+            }
+            AccessStrategy::Path | AccessStrategy::UniquePath => {
+                let msg = WalkMsg {
+                    op,
+                    origin: node,
+                    action: QuorumAction::Advertise { key, value },
+                    target: spec.size,
+                    unique: spec.strategy == AccessStrategy::UniquePath,
+                    visited: Vec::new(),
+                };
+                self.walk_arrive(net, node, msg);
+            }
+            AccessStrategy::Flooding => {
+                self.start_flood(
+                    net,
+                    node,
+                    op,
+                    QuorumAction::Advertise { key, value },
+                    spec.size as u8,
+                );
+            }
+        }
+        op
+    }
+
+    /// Looks `key` up from `node` through the lookup quorum. The
+    /// originator is part of its own quorum (§8.3), so a locally known
+    /// key completes immediately.
+    pub fn lookup(&mut self, net: &mut QuorumNet, node: NodeId, key: Key) -> OpId {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.ops
+            .insert(op, OpRecord::new(OpKind::Lookup, key, node, net.now()));
+        if !net.is_alive(node) {
+            return op;
+        }
+        // The originator is part of its own quorum (§8.3). A local hit
+        // completes the lookup immediately; parallel fan-outs still probe
+        // the rest of the quorum so that collect-style consumers (the
+        // register, pub/sub) see every stored value.
+        let local = self.stores[node.index()].lookup_all(key);
+        if !local.is_empty() {
+            let rec = self.ops.get_mut(&op).expect("just inserted");
+            rec.intersected = true;
+            self.complete_lookup_values(net, op, local);
+            let keeps_probing = self.cfg.lookup_fanout == Fanout::Parallel
+                && matches!(
+                    self.cfg.spec.lookup.strategy,
+                    AccessStrategy::Random | AccessStrategy::RandomOpt
+                );
+            if !keeps_probing {
+                return op;
+            }
+        }
+        let spec = self.cfg.spec.lookup;
+        match spec.strategy {
+            AccessStrategy::Random | AccessStrategy::RandomOpt => {
+                let targets =
+                    self.membership
+                        .pick_quorum(node, spec.size as usize, &mut self.rng);
+                match self.cfg.lookup_fanout {
+                    Fanout::Parallel => {
+                        for target in targets {
+                            self.send_probe(net, node, op, key, target);
+                        }
+                    }
+                    Fanout::Serial => {
+                        self.serial.insert(
+                            op,
+                            SerialLookup {
+                                origin: node,
+                                key,
+                                remaining: targets.into(),
+                                timer: None,
+                                substitutions: 0,
+                            },
+                        );
+                        self.serial_advance(net, op);
+                    }
+                }
+            }
+            AccessStrategy::Path | AccessStrategy::UniquePath => {
+                let msg = WalkMsg {
+                    op,
+                    origin: node,
+                    action: QuorumAction::Lookup { key },
+                    target: spec.size,
+                    unique: spec.strategy == AccessStrategy::UniquePath,
+                    visited: Vec::new(),
+                };
+                self.walk_arrive(net, node, msg);
+            }
+            AccessStrategy::Flooding => {
+                if self.cfg.expanding_ring {
+                    self.expanding_ring_stage(net, node, op, key, 1);
+                } else {
+                    self.start_flood(net, node, op, QuorumAction::Lookup { key }, spec.size as u8);
+                }
+            }
+        }
+        op
+    }
+
+    // ------------------------------------------------------------------
+    // Routed probes (RANDOM / RANDOM-OPT)
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_store(
+        &mut self,
+        net: &mut QuorumNet,
+        origin: NodeId,
+        op: OpId,
+        key: Key,
+        value: Value,
+        target: NodeId,
+        attempts: u32,
+    ) {
+        let token = self.token();
+        self.route_ctx.insert(
+            token,
+            RouteCtx::StoreSend {
+                op,
+                origin,
+                key,
+                value,
+                attempts,
+            },
+        );
+        let events = self.router.send_data(
+            net,
+            origin,
+            target,
+            AppMsg::Store { op, key, value },
+            token,
+            None,
+        );
+        self.dispatch(net, events);
+    }
+
+    fn send_probe(&mut self, net: &mut QuorumNet, origin: NodeId, op: OpId, key: Key, target: NodeId) {
+        let token = self.token();
+        self.route_ctx.insert(token, RouteCtx::Probe { op });
+        let events = self.router.send_data(
+            net,
+            origin,
+            target,
+            AppMsg::LookupReq { op, key, origin },
+            token,
+            None,
+        );
+        self.dispatch(net, events);
+    }
+
+    fn serial_advance(&mut self, net: &mut QuorumNet, op: OpId) {
+        let Some(state) = self.serial.get_mut(&op) else {
+            return;
+        };
+        if self.ops.get(&op).is_some_and(|r| r.replied) {
+            if let Some(t) = state.timer.take() {
+                net.cancel_timer(t);
+            }
+            self.serial.remove(&op);
+            return;
+        }
+        if let Some(t) = state.timer.take() {
+            net.cancel_timer(t);
+        }
+        let Some(target) = state.remaining.pop_front() else {
+            // Quorum exhausted: a miss.
+            self.serial.remove(&op);
+            if let Some(rec) = self.ops.get_mut(&op) {
+                rec.completed.get_or_insert(net.now());
+            }
+            return;
+        };
+        let (origin, key) = (state.origin, state.key);
+        let timer_token = self.token();
+        self.timer_ctx
+            .insert(timer_token, TimerCtx::SerialProbe { op });
+        let timer = net.set_timer(origin, self.cfg.probe_timeout, timer_token);
+        if let Some(state) = self.serial.get_mut(&op) {
+            state.timer = Some(timer);
+        }
+        self.send_probe(net, origin, op, key, target);
+    }
+
+    // ------------------------------------------------------------------
+    // Walks (PATH / UNIQUE-PATH)
+    // ------------------------------------------------------------------
+
+    fn walk_arrive(&mut self, net: &mut QuorumNet, at: NodeId, mut msg: WalkMsg) {
+        if !net.is_alive(at) {
+            return;
+        }
+        let first_visit = !msg.visited.contains(&at);
+        if first_visit {
+            msg.visited.push(at);
+        }
+        match msg.action {
+            QuorumAction::Advertise { key, value } => {
+                if first_visit {
+                    self.stores[at.index()].insert(key, value, Role::Owner);
+                    if let Some(rec) = self.ops.get_mut(&msg.op) {
+                        rec.stores_placed += 1;
+                    }
+                }
+            }
+            QuorumAction::Lookup { key } => {
+                if let Some(value) = self.stores[at.index()].lookup(key) {
+                    if let Some(rec) = self.ops.get_mut(&msg.op) {
+                        rec.intersected = true;
+                    }
+                    if self.replies_started.insert(msg.op) {
+                        self.start_walk_reply(net, at, &msg, value);
+                    }
+                    if self.cfg.early_halting {
+                        return;
+                    }
+                }
+            }
+        }
+        if msg.visited.len() >= msg.target as usize {
+            // Walk complete: advertise done / lookup miss (no reply sent
+            // on misses — the cost model of Fig. 16).
+            if let Some(rec) = self.ops.get_mut(&msg.op) {
+                if rec.kind == OpKind::Advertise || !rec.intersected {
+                    rec.completed.get_or_insert(net.now());
+                }
+            }
+            return;
+        }
+        self.forward_walk(net, at, msg, Vec::new());
+    }
+
+    fn forward_walk(&mut self, net: &mut QuorumNet, at: NodeId, msg: WalkMsg, tried: Vec<NodeId>) {
+        if !net.is_alive(at) || tried.len() > MAX_SALVAGE_ATTEMPTS {
+            self.counters.walks_dropped += 1;
+            return;
+        }
+        let neighbors = net.neighbors(at);
+        let candidates: Vec<NodeId> = neighbors
+            .iter()
+            .copied()
+            .filter(|n| !tried.contains(n))
+            .collect();
+        if candidates.is_empty() {
+            self.counters.walks_dropped += 1;
+            return;
+        }
+        // UNIQUE-PATH: prefer unvisited neighbours; fall back to a simple
+        // step when trapped (§4.3).
+        let next = if msg.unique {
+            let fresh: Vec<NodeId> = candidates
+                .iter()
+                .copied()
+                .filter(|n| !msg.visited.contains(n))
+                .collect();
+            if fresh.is_empty() {
+                *candidates.choose(&mut self.rng).expect("nonempty")
+            } else {
+                *fresh.choose(&mut self.rng).expect("nonempty")
+            }
+        } else {
+            *candidates.choose(&mut self.rng).expect("nonempty")
+        };
+        let token = self.token();
+        let mut tried = tried;
+        tried.push(next);
+        self.link_ctx.insert(
+            token,
+            LinkCtx::WalkForward {
+                at,
+                msg: msg.clone(),
+                tried,
+            },
+        );
+        self.counters.walk_tx += 1;
+        // Lookup walks are small control messages; advertise walks carry
+        // the payload. Both carry the visited list (§4.2).
+        let bytes = match msg.action {
+            QuorumAction::Advertise { .. } => net.config().payload_bytes,
+            QuorumAction::Lookup { .. } => 48,
+        } + 4 * msg.visited.len();
+        self.router
+            .send_one_hop(net, at, MacDst::Unicast(next), AppMsg::Walk(msg), token, bytes);
+    }
+
+    fn start_walk_reply(&mut self, net: &mut QuorumNet, at: NodeId, msg: &WalkMsg, value: Value) {
+        let key = msg.action.key();
+        let pos = msg
+            .visited
+            .iter()
+            .position(|&v| v == at)
+            .unwrap_or(msg.visited.len());
+        let path = msg.visited[..pos].to_vec();
+        if path.is_empty() {
+            // The hit happened at the originator itself.
+            self.complete_lookup(net, msg.op, value);
+            return;
+        }
+        let reply = ReplyMsg {
+            op: msg.op,
+            key,
+            value,
+            path,
+        };
+        self.forward_reply(net, at, reply);
+    }
+
+    fn forward_reply(&mut self, net: &mut QuorumNet, at: NodeId, mut reply: ReplyMsg) {
+        if !net.is_alive(at) || reply.path.is_empty() {
+            return;
+        }
+        if self.cfg.reply_path_reduction {
+            // Skip ahead to the earliest reverse-path node that is
+            // already a neighbour (§7.2).
+            let neighbors = net.neighbors(at);
+            if let Some(i) = reply.path.iter().position(|v| neighbors.contains(v)) {
+                reply.path.truncate(i + 1);
+            }
+        }
+        let next = *reply.path.last().expect("nonempty path");
+        let token = self.token();
+        self.link_ctx.insert(
+            token,
+            LinkCtx::ReplyForward {
+                at,
+                reply: reply.clone(),
+            },
+        );
+        self.counters.reply_tx += 1;
+        let bytes = 64 + 4 * reply.path.len();
+        self.router.send_one_hop(
+            net,
+            at,
+            MacDst::Unicast(next),
+            AppMsg::WalkReply(reply),
+            token,
+            bytes,
+        );
+    }
+
+    fn reply_arrive(&mut self, net: &mut QuorumNet, at: NodeId, mut reply: ReplyMsg) {
+        if reply.path.last() == Some(&at) {
+            reply.path.pop();
+        }
+        if reply.path.is_empty() {
+            self.complete_lookup(net, reply.op, reply.value);
+        } else {
+            self.forward_reply(net, at, reply);
+        }
+    }
+
+    fn reply_hop_failed(&mut self, net: &mut QuorumNet, at: NodeId, mut reply: ReplyMsg) {
+        match self.cfg.repair {
+            RepairMode::None => {
+                self.drop_reply(reply.op);
+            }
+            RepairMode::Local { .. } => {
+                // The failed hop is the last path element; repair targets
+                // the nodes before it, ending at the originator.
+                if reply.path.len() > 1 {
+                    reply.path.pop();
+                }
+                self.try_repair(net, at, reply, true);
+            }
+        }
+    }
+
+    fn try_repair(&mut self, net: &mut QuorumNet, at: NodeId, reply: ReplyMsg, scoped: bool) {
+        let RepairMode::Local { ttl, .. } = self.cfg.repair else {
+            self.drop_reply(reply.op);
+            return;
+        };
+        if scoped {
+            self.counters.local_repairs += 1;
+        } else {
+            self.counters.global_repairs += 1;
+        }
+        let target = *reply.path.last().expect("repair path nonempty");
+        let token = self.token();
+        self.route_ctx.insert(
+            token,
+            RouteCtx::Repair {
+                at,
+                reply: reply.clone(),
+                scoped,
+            },
+        );
+        let max_ttl = scoped.then_some(ttl);
+        let events = self.router.send_data(
+            net,
+            at,
+            target,
+            AppMsg::WalkReply(reply),
+            token,
+            max_ttl,
+        );
+        self.dispatch(net, events);
+    }
+
+    fn repair_failed(&mut self, net: &mut QuorumNet, at: NodeId, mut reply: ReplyMsg, scoped: bool) {
+        let RepairMode::Local { global_fallback, .. } = self.cfg.repair else {
+            self.drop_reply(reply.op);
+            return;
+        };
+        if !scoped {
+            self.drop_reply(reply.op);
+            return;
+        }
+        if reply.path.len() > 1 {
+            reply.path.pop();
+            self.try_repair(net, at, reply, true);
+        } else if global_fallback {
+            // Last resort: unrestricted route to the originator (§6.2).
+            self.try_repair(net, at, reply, false);
+        } else {
+            self.drop_reply(reply.op);
+        }
+    }
+
+    fn drop_reply(&mut self, op: OpId) {
+        self.counters.replies_dropped += 1;
+        if let Some(rec) = self.ops.get_mut(&op) {
+            rec.reply_dropped = true;
+        }
+    }
+
+    fn complete_lookup(&mut self, net: &mut QuorumNet, op: OpId, value: Value) {
+        self.complete_lookup_values(net, op, vec![value]);
+    }
+
+    fn complete_lookup_values(&mut self, net: &mut QuorumNet, op: OpId, values: Vec<Value>) {
+        let now = net.now();
+        let Some(first) = values.first().copied() else {
+            return;
+        };
+        if let Some(rec) = self.ops.get_mut(&op) {
+            for &v in &values {
+                if !rec.values_seen.contains(&v) {
+                    rec.values_seen.push(v);
+                }
+            }
+            if rec.replied {
+                return;
+            }
+            rec.replied = true;
+            rec.intersected = true;
+            rec.value = Some(first);
+            rec.completed = Some(now);
+            if self.cfg.caching {
+                self.stores[rec.origin.index()].insert(rec.key, first, Role::Bystander);
+            }
+        }
+        if let Some(state) = self.serial.remove(&op) {
+            if let Some(t) = state.timer {
+                net.cancel_timer(t);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flooding
+    // ------------------------------------------------------------------
+
+    fn start_flood(
+        &mut self,
+        net: &mut QuorumNet,
+        node: NodeId,
+        op: OpId,
+        action: QuorumAction,
+        ttl: u8,
+    ) {
+        self.next_flood += 1;
+        let flood = self.next_flood;
+        self.flood_seen[node.index()].insert(flood);
+        self.counters.flood_covered += 1;
+        if let QuorumAction::Advertise { key, value } = action {
+            self.stores[node.index()].insert(key, value, Role::Owner);
+            if let Some(rec) = self.ops.get_mut(&op) {
+                rec.stores_placed += 1;
+            }
+        }
+        if ttl == 0 {
+            return;
+        }
+        let token = self.token();
+        self.link_ctx.insert(token, LinkCtx::FireAndForget);
+        self.counters.flood_tx += 1;
+        let bytes = flood_bytes(net, action);
+        self.router.send_one_hop(
+            net,
+            node,
+            MacDst::Broadcast,
+            AppMsg::Flood(FloodMsg {
+                op,
+                origin: node,
+                flood,
+                ttl,
+                action,
+            }),
+            token,
+            bytes,
+        );
+    }
+
+    /// One stage of the §4.4 expanding-ring lookup: flood at `ttl`, then
+    /// re-flood wider if the reply has not arrived by the stage timeout.
+    fn expanding_ring_stage(
+        &mut self,
+        net: &mut QuorumNet,
+        origin: NodeId,
+        op: OpId,
+        key: Key,
+        ttl: u8,
+    ) {
+        if self.ops.get(&op).is_some_and(|r| r.replied) {
+            return;
+        }
+        self.start_flood(net, origin, op, QuorumAction::Lookup { key }, ttl);
+        let max_ttl = self.cfg.spec.lookup.size as u8;
+        if ttl < max_ttl {
+            let token = self.token();
+            self.timer_ctx.insert(
+                token,
+                TimerCtx::ExpandRing {
+                    op,
+                    origin,
+                    key,
+                    ttl: ttl + 1,
+                },
+            );
+            net.set_timer(origin, self.cfg.expanding_ring_timeout, token);
+        }
+    }
+
+    fn flood_arrive(&mut self, net: &mut QuorumNet, at: NodeId, from: NodeId, msg: FloodMsg) {
+        if !net.is_alive(at) || !self.flood_seen[at.index()].insert(msg.flood) {
+            return;
+        }
+        self.flood_parent[at.index()].insert(msg.flood, from);
+        self.counters.flood_covered += 1;
+        match msg.action {
+            QuorumAction::Advertise { key, value } => {
+                self.stores[at.index()].insert(key, value, Role::Owner);
+                if let Some(rec) = self.ops.get_mut(&msg.op) {
+                    rec.stores_placed += 1;
+                }
+            }
+            QuorumAction::Lookup { key } => {
+                if let Some(value) = self.stores[at.index()].lookup(key) {
+                    if let Some(rec) = self.ops.get_mut(&msg.op) {
+                        rec.intersected = true;
+                    }
+                    // Every holder replies — flooding has no fine-grained
+                    // control (§4.4's "numerous replies" drawback).
+                    self.forward_flood_reply(
+                        net,
+                        at,
+                        FloodReplyMsg {
+                            op: msg.op,
+                            key,
+                            value,
+                            flood: msg.flood,
+                            origin: msg.origin,
+                        },
+                    );
+                }
+            }
+        }
+        if msg.ttl > 1 {
+            let token = self.token();
+            self.link_ctx.insert(token, LinkCtx::FireAndForget);
+            self.counters.flood_tx += 1;
+            let bytes = flood_bytes(net, msg.action);
+            self.router.send_one_hop(
+                net,
+                at,
+                MacDst::Broadcast,
+                AppMsg::Flood(FloodMsg {
+                    ttl: msg.ttl - 1,
+                    ..msg
+                }),
+                token,
+                bytes,
+            );
+        }
+    }
+
+    fn forward_flood_reply(&mut self, net: &mut QuorumNet, at: NodeId, msg: FloodReplyMsg) {
+        if at == msg.origin {
+            self.complete_lookup(net, msg.op, msg.value);
+            return;
+        }
+        let Some(&parent) = self.flood_parent[at.index()].get(&msg.flood) else {
+            self.drop_reply(msg.op);
+            return;
+        };
+        let token = self.token();
+        self.link_ctx
+            .insert(token, LinkCtx::FloodReplyForward { op: msg.op });
+        self.counters.flood_reply_tx += 1;
+        self.router.send_one_hop(
+            net,
+            at,
+            MacDst::Unicast(parent),
+            AppMsg::FloodReply(msg),
+            token,
+            64,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    /// Processes router events (public so drivers can flush events
+    /// returned by direct router calls).
+    pub fn dispatch(&mut self, net: &mut QuorumNet, events: Vec<RouterEvent<AppMsg>>) {
+        for event in events {
+            match event {
+                RouterEvent::Delivered { node, payload, .. } => {
+                    self.on_app_msg(net, node, None, payload);
+                }
+                RouterEvent::OneHop {
+                    node,
+                    from,
+                    payload,
+                    overheard,
+                } => {
+                    if overheard {
+                        self.on_overheard(net, node, from, payload);
+                    } else {
+                        self.on_app_msg(net, node, Some(from), payload);
+                    }
+                }
+                RouterEvent::Transit {
+                    node,
+                    handle,
+                    payload,
+                    ..
+                } => {
+                    self.on_transit(net, node, handle, payload);
+                }
+                RouterEvent::SendDone { node, token, ok } => {
+                    self.on_route_done(net, node, token, ok);
+                }
+                RouterEvent::AppSendResult { node, token, ok } => {
+                    self.on_link_result(net, node, token, ok);
+                }
+                RouterEvent::AppTimer { token, .. } => {
+                    self.on_timer(net, token);
+                }
+                RouterEvent::RouteBroken { .. } => {}
+                RouterEvent::NodeFailed { node } => {
+                    self.on_node_failed(node);
+                }
+                RouterEvent::NodeJoined { node } => {
+                    self.on_node_joined(net, node);
+                }
+            }
+        }
+    }
+
+    fn on_app_msg(&mut self, net: &mut QuorumNet, at: NodeId, from: Option<NodeId>, msg: AppMsg) {
+        match msg {
+            AppMsg::Store { op, key, value } => {
+                self.stores[at.index()].insert(key, value, Role::Owner);
+                if let Some(rec) = self.ops.get_mut(&op) {
+                    rec.stores_placed += 1;
+                }
+            }
+            AppMsg::LookupReq { op, key, origin } => {
+                let found = self.stores[at.index()].lookup_all(key);
+                if !found.is_empty() {
+                    if let Some(rec) = self.ops.get_mut(&op) {
+                        rec.intersected = true;
+                    }
+                }
+                // Hits always answer (with every held value); misses
+                // answer only under serial probing, which needs explicit
+                // miss notifications to advance.
+                if !found.is_empty() || self.cfg.lookup_fanout == Fanout::Serial {
+                    let token = self.token();
+                    self.route_ctx.insert(token, RouteCtx::ReplyRouted { op });
+                    let events = self.router.send_data(
+                        net,
+                        at,
+                        origin,
+                        AppMsg::LookupReply {
+                            op,
+                            key,
+                            values: found,
+                        },
+                        token,
+                        None,
+                    );
+                    self.dispatch(net, events);
+                }
+            }
+            AppMsg::LookupReply { op, values, .. } => {
+                if values.is_empty() {
+                    self.serial_advance(net, op);
+                } else {
+                    self.complete_lookup_values(net, op, values);
+                }
+            }
+            AppMsg::Walk(walk) => self.walk_arrive(net, at, walk),
+            AppMsg::WalkReply(reply) => self.reply_arrive(net, at, reply),
+            AppMsg::Flood(flood) => {
+                let from = from.expect("floods travel one hop");
+                self.flood_arrive(net, at, from, flood);
+            }
+            AppMsg::FloodReply(reply) => self.forward_flood_reply(net, at, reply),
+        }
+    }
+
+    fn on_transit(
+        &mut self,
+        net: &mut QuorumNet,
+        node: NodeId,
+        handle: TransitHandle,
+        payload: AppMsg,
+    ) {
+        match payload {
+            // RANDOM-OPT advertise: relays join the advertise quorum
+            // (§4.5). Only when the advertise side is RANDOM-OPT — plain
+            // RANDOM keeps its uniform quorum.
+            AppMsg::Store { op, key, value }
+                if self.cfg.spec.advertise.strategy == AccessStrategy::RandomOpt =>
+            {
+                self.stores[node.index()].insert(key, value, Role::Owner);
+                if let Some(rec) = self.ops.get_mut(&op) {
+                    rec.stores_placed += 1;
+                }
+                let events = self.router.forward_transit(net, handle);
+                self.dispatch(net, events);
+            }
+            // RANDOM-OPT lookup: relays answer from their own store and
+            // stop the probe (§4.5).
+            AppMsg::LookupReq { op, key, origin }
+                if self.cfg.spec.lookup.strategy == AccessStrategy::RandomOpt =>
+            {
+                let found = self.stores[node.index()].lookup_all(key);
+                if !found.is_empty() {
+                    if let Some(rec) = self.ops.get_mut(&op) {
+                        rec.intersected = true;
+                    }
+                    self.router.consume_transit(handle);
+                    let token = self.token();
+                    self.route_ctx.insert(token, RouteCtx::ReplyRouted { op });
+                    let events = self.router.send_data(
+                        net,
+                        node,
+                        origin,
+                        AppMsg::LookupReply {
+                            op,
+                            key,
+                            values: found,
+                        },
+                        token,
+                        None,
+                    );
+                    self.dispatch(net, events);
+                } else {
+                    let events = self.router.forward_transit(net, handle);
+                    self.dispatch(net, events);
+                }
+            }
+            _ => {
+                let events = self.router.forward_transit(net, handle);
+                self.dispatch(net, events);
+            }
+        }
+    }
+
+    fn on_overheard(&mut self, net: &mut QuorumNet, node: NodeId, _from: NodeId, msg: AppMsg) {
+        if self.cfg.caching {
+            match &msg {
+                AppMsg::Store { key, value, .. } => {
+                    self.stores[node.index()].insert(*key, *value, Role::Bystander);
+                }
+                AppMsg::WalkReply(r) => {
+                    self.stores[node.index()].insert(r.key, r.value, Role::Bystander);
+                }
+                _ => {}
+            }
+        }
+        if self.cfg.promiscuous_replies {
+            if let AppMsg::Walk(walk) = &msg {
+                if let QuorumAction::Lookup { key } = walk.action {
+                    if let Some(value) = self.stores[node.index()].lookup(key) {
+                        if let Some(rec) = self.ops.get_mut(&walk.op) {
+                            rec.intersected = true;
+                        }
+                        if self.replies_started.insert(walk.op) && !walk.visited.is_empty() {
+                            // Answer on the walk's reverse path (§7.2).
+                            let reply = ReplyMsg {
+                                op: walk.op,
+                                key,
+                                value,
+                                path: walk.visited.clone(),
+                            };
+                            self.forward_reply(net, node, reply);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_link_result(&mut self, net: &mut QuorumNet, _node: NodeId, token: u64, ok: bool) {
+        let Some(ctx) = self.link_ctx.remove(&token) else {
+            return;
+        };
+        match ctx {
+            LinkCtx::FireAndForget => {}
+            LinkCtx::WalkForward { at, msg, tried } => {
+                if !ok {
+                    if self.cfg.rw_salvation {
+                        // Try another neighbour within the same step
+                        // (§6.2's RW salvation).
+                        self.counters.salvations += 1;
+                        self.forward_walk(net, at, msg, tried);
+                    } else {
+                        self.counters.walks_dropped += 1;
+                    }
+                }
+            }
+            LinkCtx::ReplyForward { at, reply } => {
+                if !ok {
+                    self.reply_hop_failed(net, at, reply);
+                }
+            }
+            LinkCtx::FloodReplyForward { op } => {
+                if !ok {
+                    self.drop_reply(op);
+                }
+            }
+        }
+    }
+
+    fn on_route_done(&mut self, net: &mut QuorumNet, _node: NodeId, token: u64, ok: bool) {
+        let Some(ctx) = self.route_ctx.remove(&token) else {
+            return;
+        };
+        match ctx {
+            RouteCtx::StoreSend {
+                op,
+                origin,
+                key,
+                value,
+                attempts,
+            } => {
+                // §6.2 adaptation: an unreachable advertise member is
+                // replaced by another random one (bounded retries).
+                if !ok && attempts < 3 && net.is_alive(origin) {
+                    let substitute = self.membership.pick_quorum(origin, 1, &mut self.rng);
+                    if let Some(target) = substitute.first().copied() {
+                        self.counters.probe_substitutions += 1;
+                        self.send_store(net, origin, op, key, value, target, attempts + 1);
+                    }
+                }
+            }
+            RouteCtx::Probe { op } => {
+                if !ok {
+                    // §6.2 adaptation: replace the unreachable member by
+                    // another random one (serial mode only; parallel
+                    // probes simply lose one member).
+                    if let Some(state) = self.serial.get_mut(&op) {
+                        if state.substitutions < MAX_PROBE_SUBSTITUTIONS {
+                            state.substitutions += 1;
+                            let origin = state.origin;
+                            let sub = self.membership.pick_quorum(origin, 1, &mut self.rng);
+                            if let Some(state) = self.serial.get_mut(&op) {
+                                state.remaining.extend(sub);
+                            }
+                            self.counters.probe_substitutions += 1;
+                        }
+                        self.serial_advance(net, op);
+                    }
+                }
+            }
+            RouteCtx::ReplyRouted { op } => {
+                if !ok {
+                    self.drop_reply(op);
+                }
+            }
+            RouteCtx::Repair { at, reply, scoped } => {
+                if !ok {
+                    self.repair_failed(net, at, reply, scoped);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, net: &mut QuorumNet, token: u64) {
+        let Some(ctx) = self.timer_ctx.remove(&token) else {
+            return;
+        };
+        match ctx {
+            TimerCtx::SerialProbe { op } => {
+                if let Some(state) = self.serial.get_mut(&op) {
+                    state.timer = None;
+                }
+                self.serial_advance(net, op);
+            }
+            TimerCtx::DeferredStore {
+                op,
+                origin,
+                key,
+                value,
+                target,
+            } => {
+                self.send_store(net, origin, op, key, value, target, 0);
+            }
+            TimerCtx::ExpandRing { op, origin, key, ttl } => {
+                self.expanding_ring_stage(net, origin, op, key, ttl);
+            }
+        }
+    }
+
+    fn on_node_failed(&mut self, node: NodeId) {
+        if let Some(store) = self.stores.get_mut(node.index()) {
+            store.clear();
+        }
+        if let Some(seen) = self.flood_seen.get_mut(node.index()) {
+            seen.clear();
+        }
+        if let Some(parents) = self.flood_parent.get_mut(node.index()) {
+            parents.clear();
+        }
+        self.serial.retain(|_, s| s.origin != node);
+    }
+
+    fn on_node_joined(&mut self, net: &mut QuorumNet, node: NodeId) {
+        while self.stores.len() <= node.index() {
+            self.stores.push(Store::new());
+            self.flood_seen.push(HashSet::new());
+            self.flood_parent.push(HashMap::new());
+        }
+        self.stores[node.index()].clear();
+        let alive = net.alive_nodes();
+        let view =
+            (self.cfg.membership_view_factor * (alive.len() as f64).sqrt()).round() as usize;
+        self.membership
+            .refresh_view(node, &alive, view.max(1), &mut self.rng);
+    }
+}
+
+/// Wire size of a flood message: advertise floods carry the payload,
+/// lookup floods are small.
+fn flood_bytes(net: &QuorumNet, action: QuorumAction) -> usize {
+    match action {
+        QuorumAction::Advertise { .. } => net.config().payload_bytes,
+        QuorumAction::Lookup { .. } => 48,
+    }
+}
+
+impl Stack<RoutePacket<AppMsg>> for QuorumStack {
+    fn on_upcall(&mut self, net: &mut QuorumNet, upcall: Upcall<RoutePacket<AppMsg>>) {
+        let events = self.router.on_upcall(net, upcall);
+        self.dispatch(net, events);
+    }
+}

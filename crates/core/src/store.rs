@@ -1,0 +1,203 @@
+//! The per-node advertisement store of the location service (§7.1).
+//!
+//! Distinguishes *owners* (members of an advertise quorum, who must keep
+//! their entries) from *bystanders* (nodes that merely cached a passing
+//! advertisement or reply, and may evict under memory pressure).
+//!
+//! A key may hold **several values** (multi-map semantics): the location
+//! service stores one value per key, but applications layered on the
+//! quorum system need more — publish/subscribe keeps one subscription
+//! per subscriber under the topic key, and the register keeps versioned
+//! values. Lookups can fetch the first value ([`Store::lookup`]) or all
+//! of them ([`Store::lookup_all`]).
+
+use std::collections::HashMap;
+
+/// Advertised keys (e.g. an object or service identifier).
+pub type Key = u64;
+/// Advertised values (e.g. an encoded location).
+pub type Value = u64;
+
+/// How a node came to hold a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// A member of the advertise quorum: must retain the entry.
+    Owner,
+    /// Cached opportunistically: evictable.
+    Bystander,
+}
+
+/// One node's key → values store.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    owner: HashMap<Key, Vec<Value>>,
+    bystander: HashMap<Key, Vec<Value>>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Inserts a mapping with the given role; duplicate `(key, value)`
+    /// pairs are kept once. An owner insert removes any bystander copy of
+    /// the same pair; a bystander insert never shadows an owner entry.
+    pub fn insert(&mut self, key: Key, value: Value, role: Role) {
+        match role {
+            Role::Owner => {
+                if let Some(cached) = self.bystander.get_mut(&key) {
+                    cached.retain(|&v| v != value);
+                    if cached.is_empty() {
+                        self.bystander.remove(&key);
+                    }
+                }
+                let values = self.owner.entry(key).or_default();
+                // Re-inserting refreshes recency: the value moves to the
+                // end so `lookup` returns the most recent advertisement.
+                values.retain(|&v| v != value);
+                values.push(value);
+            }
+            Role::Bystander => {
+                if self
+                    .owner
+                    .get(&key)
+                    .is_some_and(|values| values.contains(&value))
+                {
+                    return;
+                }
+                let values = self.bystander.entry(key).or_default();
+                values.retain(|&v| v != value);
+                values.push(value);
+            }
+        }
+    }
+
+    /// Looks a key up, returning the most recently stored value (owner
+    /// entries preferred) — the location-service access, where a
+    /// re-advertisement refreshes the mapping (§6.1).
+    pub fn lookup(&self, key: Key) -> Option<Value> {
+        self.owner
+            .get(&key)
+            .or_else(|| self.bystander.get(&key))
+            .and_then(|values| values.last())
+            .copied()
+    }
+
+    /// Returns every value stored under `key` (owner entries first).
+    pub fn lookup_all(&self, key: Key) -> Vec<Value> {
+        let mut out: Vec<Value> = self.owner.get(&key).cloned().unwrap_or_default();
+        if let Some(cached) = self.bystander.get(&key) {
+            for &v in cached {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the strongest role under which `key` is held, if at all.
+    pub fn role_of(&self, key: Key) -> Option<Role> {
+        if self.owner.contains_key(&key) {
+            Some(Role::Owner)
+        } else if self.bystander.contains_key(&key) {
+            Some(Role::Bystander)
+        } else {
+            None
+        }
+    }
+
+    /// Evicts all bystander entries (the §7.1 memory-pressure response).
+    /// Returns the number of cached values dropped.
+    pub fn evict_bystanders(&mut self) -> usize {
+        let evicted = self.bystander.values().map(Vec::len).sum();
+        self.bystander.clear();
+        evicted
+    }
+
+    /// Drops everything (node crash).
+    pub fn clear(&mut self) {
+        self.owner.clear();
+        self.bystander.clear();
+    }
+
+    /// Number of owned values (over all keys).
+    pub fn owned_len(&self) -> usize {
+        self.owner.values().map(Vec::len).sum()
+    }
+
+    /// Number of cached (bystander) values.
+    pub fn cached_len(&self) -> usize {
+        self.bystander.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_lookup_round_trip() {
+        let mut s = Store::new();
+        assert_eq!(s.lookup(1), None);
+        s.insert(1, 10, Role::Owner);
+        assert_eq!(s.lookup(1), Some(10));
+        assert_eq!(s.role_of(1), Some(Role::Owner));
+    }
+
+    #[test]
+    fn multiple_values_per_key() {
+        let mut s = Store::new();
+        s.insert(1, 10, Role::Owner);
+        s.insert(1, 20, Role::Owner);
+        s.insert(1, 10, Role::Owner); // duplicate kept once, refreshed
+        assert_eq!(s.lookup_all(1), vec![20, 10]);
+        assert_eq!(s.owned_len(), 2);
+        assert_eq!(s.lookup(1), Some(10), "most recent insert wins");
+    }
+
+    #[test]
+    fn bystander_never_shadows_owner_pair() {
+        let mut s = Store::new();
+        s.insert(1, 10, Role::Owner);
+        s.insert(1, 10, Role::Bystander);
+        assert_eq!(s.cached_len(), 0, "owner pair not re-cached");
+        s.insert(1, 99, Role::Bystander);
+        assert_eq!(s.lookup_all(1), vec![10, 99]);
+        assert_eq!(s.lookup(1), Some(10), "owner entries preferred");
+    }
+
+    #[test]
+    fn owner_upgrades_bystander_pair() {
+        let mut s = Store::new();
+        s.insert(1, 99, Role::Bystander);
+        assert_eq!(s.role_of(1), Some(Role::Bystander));
+        s.insert(1, 99, Role::Owner);
+        assert_eq!(s.lookup(1), Some(99));
+        assert_eq!(s.cached_len(), 0, "bystander copy removed on upgrade");
+        assert_eq!(s.role_of(1), Some(Role::Owner));
+    }
+
+    #[test]
+    fn eviction_spares_owned_entries() {
+        let mut s = Store::new();
+        s.insert(1, 10, Role::Owner);
+        s.insert(2, 20, Role::Bystander);
+        s.insert(3, 30, Role::Bystander);
+        assert_eq!(s.evict_bystanders(), 2);
+        assert_eq!(s.lookup(1), Some(10));
+        assert_eq!(s.lookup(2), None);
+        assert_eq!((s.owned_len(), s.cached_len()), (1, 0));
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut s = Store::new();
+        s.insert(1, 10, Role::Owner);
+        s.insert(2, 20, Role::Bystander);
+        s.clear();
+        assert_eq!(s.lookup(1), None);
+        assert_eq!((s.owned_len(), s.cached_len()), (0, 0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the quorum mathematics and service state.
+
+use proptest::prelude::*;
+use pqs_core::analysis::{intersection_after_churn, ChurnRegime};
+use pqs_core::spec::{
+    intersection_lower_bound, min_quorum_product, symmetric_quorum_size, AccessStrategy,
+    BiquorumSpec,
+};
+use pqs_core::store::{Role, Store};
+
+fn regimes() -> [ChurnRegime; 5] {
+    [
+        ChurnRegime::FailuresOnly { adjust_lookup: false },
+        ChurnRegime::FailuresOnly { adjust_lookup: true },
+        ChurnRegime::JoinsOnly { adjust_lookup: false },
+        ChurnRegime::JoinsOnly { adjust_lookup: true },
+        ChurnRegime::FailuresAndJoins,
+    ]
+}
+
+proptest! {
+    /// The intersection bound is a probability, monotone in both quorum
+    /// sizes and antitone in n.
+    #[test]
+    fn intersection_bound_sane(qa in 1u32..500, ql in 1u32..500, n in 1usize..100_000) {
+        let p = intersection_lower_bound(qa, ql, n);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(intersection_lower_bound(qa + 1, ql, n) >= p);
+        prop_assert!(intersection_lower_bound(qa, ql + 1, n) >= p);
+        prop_assert!(intersection_lower_bound(qa, ql, n + 1) <= p + 1e-12);
+    }
+
+    /// Corollary 5.3 sizing always delivers the requested guarantee, for
+    /// any strategy pair with a RANDOM side and any advertise scaling.
+    #[test]
+    fn sizing_always_satisfies_guarantee(
+        n in 2usize..10_000,
+        eps_milli in 1u32..999,
+        factor in 0.2f64..5.0,
+        lookup_pick in 0u8..4,
+    ) {
+        let eps = f64::from(eps_milli) / 1000.0;
+        let lookup = [
+            AccessStrategy::Random,
+            AccessStrategy::UniquePath,
+            AccessStrategy::Path,
+            AccessStrategy::Flooding,
+        ][lookup_pick as usize];
+        let bq = BiquorumSpec::asymmetric_for_epsilon(
+            AccessStrategy::Random, lookup, n, eps, factor);
+        let p = bq.intersection_lower_bound(n).unwrap();
+        prop_assert!(p >= 1.0 - eps - 1e-9, "{bq:?} gives {p} < {}", 1.0 - eps);
+    }
+
+    /// The symmetric size squared meets the required product.
+    #[test]
+    fn symmetric_size_meets_product(n in 2usize..100_000, eps_milli in 1u32..999) {
+        let eps = f64::from(eps_milli) / 1000.0;
+        let q = symmetric_quorum_size(n, eps);
+        prop_assert!(f64::from(q) * f64::from(q) >= min_quorum_product(n, eps) - 1e-6);
+    }
+
+    /// Degradation curves are probabilities, equal to 1−ε at f = 0, and
+    /// non-increasing in f for every regime.
+    #[test]
+    fn degradation_curves_well_behaved(eps_milli in 1u32..999) {
+        let eps = f64::from(eps_milli) / 1000.0;
+        for regime in regimes() {
+            let at_zero = intersection_after_churn(eps, 0.0, regime);
+            prop_assert!((at_zero - (1.0 - eps)).abs() < 1e-9);
+            let mut last = at_zero;
+            for i in 1..10 {
+                let p = intersection_after_churn(eps, f64::from(i) / 10.0, regime);
+                prop_assert!((0.0..=1.0).contains(&p));
+                prop_assert!(p <= last + 1e-12, "{regime:?} increased");
+                last = p;
+            }
+        }
+    }
+
+    /// Store invariant: an owner entry always wins, survives bystander
+    /// eviction, and lookups agree with role bookkeeping.
+    #[test]
+    fn store_role_invariants(ops in proptest::collection::vec(
+        (0u64..20, 0u64..1000, any::<bool>()), 0..200)) {
+        let mut store = Store::new();
+        let mut owned: std::collections::HashMap<u64, u64> = Default::default();
+        for (key, value, as_owner) in ops {
+            if as_owner {
+                store.insert(key, value, Role::Owner);
+                owned.insert(key, value);
+            } else {
+                store.insert(key, value, Role::Bystander);
+            }
+            // Owner entries are never shadowed by bystander inserts.
+            if let Some(&v) = owned.get(&key) {
+                prop_assert_eq!(store.lookup(key), Some(v));
+                prop_assert_eq!(store.role_of(key), Some(Role::Owner));
+            } else {
+                prop_assert!(store.lookup(key).is_some());
+            }
+        }
+        store.evict_bystanders();
+        for (key, value) in owned {
+            prop_assert_eq!(store.lookup(key), Some(value));
+        }
+        prop_assert_eq!(store.cached_len(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Compact undirected graphs with BFS-based queries.
+
+use std::collections::VecDeque;
+
+/// An undirected graph over nodes `0..n` stored as adjacency lists.
+///
+/// Parallel edges and self-loops are rejected at insertion, keeping the
+/// graph simple — the random-walk theory in the paper assumes simple
+/// graphs.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_graph::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(!g.is_connected());
+/// g.add_edge(2, 3);
+/// assert!(g.is_connected());
+/// assert_eq!(g.diameter(), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Returns the number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns the number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Returns `true` if the edge was inserted, `false` if it already
+    /// existed or is a self-loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        if u == v || self.adj[u].contains(&v) {
+            return false;
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.edges += 1;
+        true
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj.get(u).is_some_and(|ns| ns.contains(&v))
+    }
+
+    /// Returns the neighbours of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Returns the degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Returns the maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Returns the average degree `2m / n`, or 0.0 for the empty graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Returns BFS hop distances from `src`; unreachable nodes get `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bfs_distances(&self, src: usize) -> Vec<Option<u32>> {
+        assert!(src < self.adj.len(), "node out of range");
+        let mut dist = vec![None; self.adj.len()];
+        dist[src] = Some(0);
+        let mut queue = VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued nodes have distances");
+            for &v in &self.adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Returns `true` if every node is reachable from every other.
+    ///
+    /// The empty graph is trivially connected.
+    pub fn is_connected(&self) -> bool {
+        match self.adj.len() {
+            0 => true,
+            _ => self.bfs_distances(0).iter().all(Option::is_some),
+        }
+    }
+
+    /// Returns the exact diameter (longest shortest path), or `None` if the
+    /// graph is disconnected or empty.
+    ///
+    /// Runs BFS from every node: `O(n · (n + m))`. Fine for the network
+    /// sizes studied here (n ≤ 800).
+    pub fn diameter(&self) -> Option<u32> {
+        if self.adj.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for src in 0..self.adj.len() {
+            for d in self.bfs_distances(src) {
+                best = best.max(d?);
+            }
+        }
+        Some(best)
+    }
+
+    /// Returns the node sets of the connected components, largest first.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut components = Vec::new();
+        for start in 0..self.adj.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen[start] = true;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        comp.push(v);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            components.push(comp);
+        }
+        components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        components
+    }
+
+    /// Returns the subgraph induced by `keep`, together with the mapping
+    /// from new indices to original ones.
+    ///
+    /// Useful for churn studies: the survivors of a failure wave form an
+    /// induced subgraph of the original RGG.
+    pub fn induced_subgraph(&self, keep: &[usize]) -> (Graph, Vec<usize>) {
+        let mut old_to_new = vec![usize::MAX; self.adj.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            old_to_new[old] = new;
+        }
+        let mut g = Graph::new(keep.len());
+        for (new_u, &old_u) in keep.iter().enumerate() {
+            for &old_v in &self.adj[old_u] {
+                let new_v = old_to_new[old_v];
+                if new_v != usize::MAX && new_u < new_v {
+                    g.add_edge(new_u, new_v);
+                }
+            }
+        }
+        (g, keep.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn edges_are_undirected_and_simple() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate edge rejected");
+        assert!(!g.add_edge(2, 2), "self-loop rejected");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn degrees() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bfs_and_diameter_on_path() {
+        let g = path(5);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[4], Some(4));
+        assert_eq!(g.diameter(), Some(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Graph::new(0);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), None);
+        let g1 = Graph::new(1);
+        assert!(g1.is_connected());
+        assert_eq!(g1.diameter(), Some(0));
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges() {
+        let g = path(5);
+        let (sub, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn components_sorted_largest_first() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let comps = g.components();
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+        assert_eq!(comps[2], vec![5]);
+    }
+}

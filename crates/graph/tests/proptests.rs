@@ -1,0 +1,122 @@
+//! Property-based tests for graphs, RGGs and random walks.
+
+use proptest::prelude::*;
+use pqs_graph::rgg::{self, RggConfig, Topology};
+use pqs_graph::walks::{WalkKind, Walker};
+use pqs_graph::Graph;
+use pqs_sim::rng;
+
+/// Builds an arbitrary simple graph from an edge list over `n` nodes.
+fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(u, v) in edges {
+        let (u, v) = (u % n, v % n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Walks of every kind only ever move along edges (or stay put).
+    #[test]
+    fn walks_stay_on_edges(
+        n in 2usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 1..120),
+        kind_pick in 0u8..3,
+        seed in any::<u64>(),
+        steps in 1usize..200,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let kind = match kind_pick {
+            0 => WalkKind::Simple,
+            1 => WalkKind::SelfAvoiding,
+            _ => WalkKind::MaxDegree,
+        };
+        let mut r = rng::stream(seed, 0);
+        let mut w = Walker::new(&g, 0, kind);
+        let mut prev = 0usize;
+        for _ in 0..steps {
+            let next = w.step(&mut r);
+            prop_assert!(next == prev || g.has_edge(prev, next));
+            prev = next;
+        }
+        prop_assert_eq!(w.steps(), steps as u64);
+        prop_assert!(w.distinct_visited() <= steps + 1);
+        prop_assert!(w.distinct_visited() >= 1);
+    }
+
+    /// The visit order contains no duplicates and starts at the start.
+    #[test]
+    fn visited_order_is_a_set(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 1..90),
+        seed in any::<u64>(),
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let mut r = rng::stream(seed, 1);
+        let mut w = Walker::new(&g, 0, WalkKind::SelfAvoiding);
+        for _ in 0..100 {
+            w.step(&mut r);
+        }
+        let order = w.visited_order();
+        prop_assert_eq!(order[0], 0);
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), order.len(), "duplicate in visit order");
+        for &v in order {
+            prop_assert!(w.has_visited(v));
+        }
+    }
+
+    /// BFS distances satisfy the triangle-ish property along edges:
+    /// neighbouring nodes differ by at most 1.
+    #[test]
+    fn bfs_distances_lipschitz(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 1..90),
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let dist = g.bfs_distances(0);
+        for u in 0..g.node_count() {
+            for &v in g.neighbors(u) {
+                if let (Some(du), Some(dv)) = (dist[u], dist[v]) {
+                    prop_assert!(du.abs_diff(dv) <= 1);
+                }
+            }
+        }
+    }
+
+    /// Torus distance is a metric bounded by the flat distance.
+    #[test]
+    fn torus_distance_properties(
+        ax in 0.0f64..1.0, ay in 0.0f64..1.0,
+        bx in 0.0f64..1.0, by in 0.0f64..1.0,
+        cx in 0.0f64..1.0, cy in 0.0f64..1.0,
+    ) {
+        let d = |p: (f64, f64), q: (f64, f64)| rgg::distance(p, q, 1.0, true);
+        let (a, b, c) = ((ax, ay), (bx, by), (cx, cy));
+        prop_assert!(d(a, b) >= 0.0);
+        prop_assert!((d(a, b) - d(b, a)).abs() < 1e-12, "symmetry");
+        prop_assert!(d(a, b) <= d(a, c) + d(c, b) + 1e-9, "triangle inequality");
+        prop_assert!(d(a, b) <= rgg::distance(a, b, 1.0, false) + 1e-12, "wrap never longer");
+        // Max torus distance on the unit square is √2/2.
+        prop_assert!(d(a, b) <= 0.7072);
+    }
+
+    /// RGG edges are exactly the pairs within the radius.
+    #[test]
+    fn rgg_edge_characterisation(seed in any::<u64>(), r in 0.05f64..0.5) {
+        let mut rr = rng::stream(seed, 2);
+        let net = RggConfig::unit(30, r).topology(Topology::Torus).generate(&mut rr);
+        let pos = net.positions();
+        for u in 0..30 {
+            for v in (u + 1)..30 {
+                let within = rgg::distance(pos[u], pos[v], 1.0, true) <= r;
+                prop_assert_eq!(net.graph().has_edge(u, v), within);
+            }
+        }
+    }
+}

@@ -1,0 +1,833 @@
+//! The network facade: nodes, medium, MAC event plumbing, heartbeats,
+//! mobility and churn, plus the [`Stack`] interface that upper layers
+//! (routing, quorum protocols) implement.
+
+use crate::config::NetConfig;
+use crate::geometry::{Point, SpatialGrid};
+use crate::mac::{FrameKind, Frame, MacDst, MacPhase, MacState};
+use crate::mobility::{self, MobilityModel, Motion};
+use crate::phy::{Medium, TxId};
+use crate::stats::NetStats;
+use crate::NodeId;
+use pqs_sim::rng::{self, streams};
+use pqs_sim::{EventId, Scheduler, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Events processed by the network substrate.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A node's scheduled channel-access attempt.
+    MacAttempt { node: NodeId },
+    /// Transmit an ACK (fired SIFS after a successful data reception).
+    SendAck { node: NodeId, to: NodeId, seq: u64 },
+    /// A transmission's airtime elapsed.
+    PhyTxEnd { tx: u64 },
+    /// The ACK for unicast data `seq` did not arrive in time.
+    AckTimeout { node: NodeId, seq: u64 },
+    /// Periodic hello broadcast.
+    Heartbeat { node: NodeId },
+    /// A mobile node finished its pause and starts a new leg.
+    MobilityLeg { node: NodeId },
+    /// Periodic spatial-index refresh (mobile networks only).
+    GridRefresh,
+    /// An upper-layer timer.
+    Timer { node: NodeId, token: u64 },
+    /// Churn: the node crashes / leaves.
+    Fail { node: NodeId },
+    /// Churn: the node (re)joins.
+    Join { node: NodeId },
+}
+
+/// Notifications delivered from the substrate to the upper layer.
+#[derive(Debug, Clone)]
+pub enum Upcall<P> {
+    /// A data frame arrived at `at`.
+    Frame {
+        /// Receiving node.
+        at: NodeId,
+        /// One-hop sender.
+        from: NodeId,
+        /// Link destination the frame was sent to.
+        dst: MacDst,
+        /// The payload.
+        payload: P,
+        /// `true` if this frame was addressed to another node and only
+        /// overheard (promiscuous mode).
+        overheard: bool,
+    },
+    /// Outcome of a [`Network::send`] call that carried a token.
+    ///
+    /// For unicast, `ok` means the MAC ACK arrived; `!ok` means the retry
+    /// limit was exhausted or the node crashed — the cross-layer failure
+    /// signal of §6.2. For broadcast, `ok` merely means the frame was put
+    /// on the air.
+    SendResult {
+        /// The sending node.
+        node: NodeId,
+        /// Token passed to [`Network::send`].
+        token: u64,
+        /// Success flag.
+        ok: bool,
+    },
+    /// An upper-layer timer set with [`Network::set_timer`] fired.
+    Timer {
+        /// Node the timer belongs to.
+        node: NodeId,
+        /// Token passed to [`Network::set_timer`].
+        token: u64,
+    },
+    /// The node crashed or left (churn).
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+    },
+    /// The node joined or rejoined (churn).
+    NodeJoined {
+        /// The joined node.
+        node: NodeId,
+    },
+}
+
+/// The protocol stack above the link layer.
+///
+/// `pqs-routing` and `pqs-core` compose their logic inside one `Stack`
+/// implementation; the substrate calls [`Stack::on_upcall`] with `&mut
+/// Network` so handlers can immediately send frames and set timers.
+pub trait Stack<P: Clone> {
+    /// Handles one substrate notification.
+    fn on_upcall(&mut self, net: &mut Network<P>, upcall: Upcall<P>);
+}
+
+#[derive(Debug)]
+struct NodeState {
+    motion: Motion,
+    alive: bool,
+    ack_timeout: Option<EventId>,
+}
+
+struct Inflight<P> {
+    sender: NodeId,
+    frame: Frame<P>,
+}
+
+/// The wireless ad hoc network: `n` nodes on a square area with the
+/// paper's PHY/MAC, heartbeat neighbourhood discovery, random-waypoint
+/// mobility and churn hooks.
+///
+/// Generic over the payload type `P` carried by data frames (the routing
+/// layer's packet type).
+pub struct Network<P> {
+    config: NetConfig,
+    side: f64,
+    scheduler: Scheduler<Event>,
+    medium: Medium,
+    grid: SpatialGrid,
+    nodes: Vec<NodeState>,
+    macs: Vec<MacState<P>>,
+    neighbors: Vec<HashMap<NodeId, SimTime>>,
+    inflight: HashMap<u64, Inflight<P>>,
+    next_tx_id: u64,
+    mac_rng: StdRng,
+    stats: NetStats,
+    grid_slack_m: f64,
+}
+
+impl<P: Clone> Network<P> {
+    /// Builds the network: places nodes uniformly at random, initialises
+    /// mobility, staggers heartbeats, and (by default) prepopulates
+    /// neighbour tables in lieu of the paper's warm-up period.
+    pub fn new(config: NetConfig) -> Self {
+        let side = config.area_side_m();
+        let mut placement_rng = rng::stream(config.seed, streams::PLACEMENT);
+        let mut mobility_rng = rng::stream(config.seed, streams::MOBILITY);
+        let mac_rng = rng::stream(config.seed, streams::MAC);
+
+        let cell = (config.phy.interference_range_m / 2.0).min(side).max(1.0);
+        let mut grid = SpatialGrid::new(side, cell, config.n);
+        let mut scheduler = Scheduler::new();
+        let mut nodes = Vec::with_capacity(config.n);
+        let mut macs = Vec::with_capacity(config.n);
+
+        let max_speed = match config.mobility {
+            MobilityModel::Static => 0.0,
+            MobilityModel::RandomWaypoint { max_speed, .. } => max_speed,
+        };
+        let grid_refresh = SimDuration::from_secs(1);
+        let grid_slack_m = 2.0 * max_speed * grid_refresh.as_secs_f64() + 5.0;
+
+        for i in 0..config.n {
+            let p = Point::new(
+                placement_rng.gen::<f64>() * side,
+                placement_rng.gen::<f64>() * side,
+            );
+            let motion =
+                mobility::initial_motion(config.mobility, p, side, SimTime::ZERO, &mut mobility_rng);
+            grid.update(i as u32, p);
+            if motion.next_transition() < SimTime::MAX {
+                scheduler.schedule_at(
+                    motion.next_transition(),
+                    Event::MobilityLeg { node: NodeId(i as u32) },
+                );
+            }
+            nodes.push(NodeState {
+                motion,
+                alive: true,
+                ack_timeout: None,
+            });
+            macs.push(MacState::new(config.mac.cw_min));
+        }
+
+        // Staggered heartbeats.
+        let period = config.heartbeat_period.as_micros();
+        let mut hb_rng = rng::stream(config.seed, streams::MAC.wrapping_add(0x48_42)); // "HB"
+        for i in 0..config.n {
+            let offset = SimDuration::from_micros(hb_rng.gen_range(0..period.max(1)));
+            scheduler.schedule_at(SimTime::ZERO + offset, Event::Heartbeat { node: NodeId(i as u32) });
+        }
+
+        if !config.mobility.is_static() {
+            scheduler.schedule_at(SimTime::ZERO + grid_refresh, Event::GridRefresh);
+        }
+
+        let mut net = Network {
+            medium: Medium::new(config.phy),
+            side,
+            scheduler,
+            grid,
+            neighbors: vec![HashMap::new(); config.n],
+            nodes,
+            macs,
+            inflight: HashMap::new(),
+            next_tx_id: 0,
+            mac_rng,
+            stats: NetStats::default(),
+            grid_slack_m,
+            config,
+        };
+        if net.config.prepopulate_neighbors {
+            net.prepopulate_neighbors();
+        }
+        net
+    }
+
+    fn prepopulate_neighbors(&mut self) {
+        let expiry = SimTime::ZERO
+            + self.config.heartbeat_period * u64::from(self.config.heartbeat_expiry_cycles);
+        let range = self.config.phy.ideal_range_m;
+        let positions: Vec<Point> = (0..self.nodes.len())
+            .map(|i| self.nodes[i].motion.position(SimTime::ZERO))
+            .collect();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if positions[i].distance(positions[j]) <= range {
+                    self.neighbors[i].insert(NodeId(j as u32), expiry);
+                    self.neighbors[j].insert(NodeId(i as u32), expiry);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public API for upper layers
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now()
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Side of the deployment square, metres.
+    pub fn side_m(&self) -> f64 {
+        self.side
+    }
+
+    /// Number of node slots (alive or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the node is currently up.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes
+            .get(node.index())
+            .is_some_and(|state| state.alive)
+    }
+
+    /// All currently alive nodes.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive)
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// The node's current one-hop neighbour view, built from heartbeats
+    /// (possibly stale under mobility — exactly the effect §6.2 studies).
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let now = self.now();
+        let mut out: Vec<NodeId> = self.neighbors[node.index()]
+            .iter()
+            .filter(|&(_, &expiry)| expiry > now)
+            .map(|(&id, _)| id)
+            .collect();
+        // Deterministic order: hash-map iteration order must never leak
+        // into protocol behaviour.
+        out.sort_unstable();
+        out
+    }
+
+    /// Ground-truth position (for diagnostics and verification only; the
+    /// protocols never read this).
+    pub fn position(&self, node: NodeId) -> Point {
+        self.nodes[node.index()].motion.position(self.now())
+    }
+
+    /// Queues a data frame for transmission at the configured default
+    /// payload size. Each call is one network-layer message in the
+    /// paper's accounting.
+    ///
+    /// A [`Upcall::SendResult`] with `token` follows: for unicast, after
+    /// the MAC ACK or final retry failure; for broadcast, once the frame
+    /// is on the air. Returns `false` (and produces no upcall) if the node
+    /// is down.
+    pub fn send(&mut self, node: NodeId, dst: MacDst, payload: P, token: u64) -> bool {
+        let bytes = self.config.payload_bytes;
+        self.send_sized(node, dst, payload, token, bytes)
+    }
+
+    /// Like [`Network::send`] with an explicit payload size in bytes —
+    /// small control packets occupy proportionally less airtime.
+    pub fn send_sized(
+        &mut self,
+        node: NodeId,
+        dst: MacDst,
+        payload: P,
+        token: u64,
+        bytes: usize,
+    ) -> bool {
+        if !self.is_alive(node) {
+            return false;
+        }
+        let was_idle =
+            self.macs[node.index()].enqueue(dst, FrameKind::Data(payload), Some(token), bytes);
+        if was_idle {
+            self.schedule_attempt_for_head(node);
+        }
+        true
+    }
+
+    /// Sets a timer for `node`; [`Upcall::Timer`] with `token` fires after
+    /// `delay`. Returns an id usable with [`Network::cancel_timer`].
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) -> EventId {
+        self.scheduler.schedule_in(delay, Event::Timer { node, token })
+    }
+
+    /// Cancels a pending timer. Returns `true` if it had not fired yet.
+    pub fn cancel_timer(&mut self, id: EventId) -> bool {
+        self.scheduler.cancel(id)
+    }
+
+    /// Schedules a crash/leave at `at` (churn).
+    pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
+        self.scheduler.schedule_at(at, Event::Fail { node });
+    }
+
+    /// Schedules a (re)join at `at` (churn). Rejoining nodes get a fresh
+    /// uniform position.
+    pub fn schedule_join(&mut self, node: NodeId, at: SimTime) {
+        self.scheduler.schedule_at(at, Event::Join { node });
+    }
+
+    /// Adds a brand-new node slot (initially down); pair with
+    /// [`Network::schedule_join`].
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeState {
+            motion: Motion::stationary(Point::default(), self.now()),
+            alive: false,
+            ack_timeout: None,
+        });
+        self.macs.push(MacState::new(self.config.mac.cw_min));
+        self.neighbors.push(HashMap::new());
+        id
+    }
+
+    /// Link-level statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Ground-truth connectivity snapshot (unit-disk at the ideal range)
+    /// over alive nodes; dead nodes appear isolated. Diagnostics only.
+    pub fn connectivity_graph(&self) -> pqs_graph::Graph {
+        let now = self.now();
+        let range = self.config.phy.ideal_range_m;
+        let mut g = pqs_graph::Graph::new(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            let pi = self.nodes[i].motion.position(now);
+            for j in (i + 1)..self.nodes.len() {
+                if !self.nodes[j].alive {
+                    continue;
+                }
+                if pi.distance(self.nodes[j].motion.position(now)) <= range {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Runs the simulation until `until`, delivering upcalls to `stack`.
+    /// Returns the number of events processed.
+    pub fn run<S: Stack<P>>(&mut self, stack: &mut S, until: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.scheduler.peek_time() {
+            if t > until {
+                break;
+            }
+            let (_, event) = self.scheduler.pop().expect("peeked event exists");
+            processed += 1;
+            let upcalls = self.handle(event);
+            for up in upcalls {
+                stack.on_upcall(self, up);
+            }
+        }
+        processed
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn position_now(&self, node: NodeId) -> Point {
+        self.nodes[node.index()].motion.position(self.scheduler.now())
+    }
+
+    fn schedule_attempt_for_head(&mut self, node: NodeId) {
+        let mac_cfg = self.config.mac;
+        let mac = &mut self.macs[node.index()];
+        let Some(head) = mac.head() else {
+            mac.phase = MacPhase::Idle;
+            return;
+        };
+        let jitter = match (&head.dst, &head.kind) {
+            (MacDst::Broadcast, FrameKind::Data(_) | FrameKind::Hello) => SimDuration::from_micros(
+                self.mac_rng
+                    .gen_range(0..mac_cfg.broadcast_jitter.as_micros().max(1)),
+            ),
+            _ => SimDuration::ZERO,
+        };
+        let backoff = mac_cfg.slot * u64::from(mac.draw_backoff(&mut self.mac_rng));
+        mac.phase = MacPhase::Contending;
+        self.scheduler
+            .schedule_in(jitter + mac_cfg.difs + backoff, Event::MacAttempt { node });
+    }
+
+    /// Candidate receivers around `pos`: all alive nodes within the
+    /// interference range (plus mobility slack), with their exact
+    /// positions.
+    fn candidates_around(&self, sender: NodeId, pos: Point) -> Vec<(u32, Point)> {
+        let now = self.scheduler.now();
+        let radius = self.config.phy.interference_range_m + self.grid_slack_m;
+        let mut out = Vec::new();
+        for id in self.grid.nearby(pos, radius) {
+            if id == sender.0 {
+                continue;
+            }
+            let state = &self.nodes[id as usize];
+            if !state.alive {
+                continue;
+            }
+            out.push((id, state.motion.position(now)));
+        }
+        out
+    }
+
+    fn transmit(&mut self, node: NodeId, frame: Frame<P>, bytes: usize) {
+        let mac_cfg = self.config.mac;
+        let now = self.scheduler.now();
+        let pos = self.position_now(node);
+        let airtime = match &frame.kind {
+            FrameKind::Data(_) => {
+                self.stats.data_tx += 1;
+                let rate = match frame.dst {
+                    MacDst::Unicast(_) => mac_cfg.unicast_rate_bps,
+                    MacDst::Broadcast => mac_cfg.broadcast_rate_bps,
+                };
+                mac_cfg.frame_airtime(bytes, rate)
+            }
+            FrameKind::Hello => {
+                self.stats.hello_tx += 1;
+                mac_cfg.frame_airtime(self.config.hello_bytes, mac_cfg.broadcast_rate_bps)
+            }
+            FrameKind::Ack { .. } => {
+                self.stats.ack_tx += 1;
+                mac_cfg.ack_airtime()
+            }
+        };
+        self.stats.phy_tx += 1;
+        let tx = self.next_tx_id;
+        self.next_tx_id += 1;
+        let candidates = self.candidates_around(node, pos);
+        self.medium
+            .begin_tx(TxId(tx), node.0, pos, now + airtime, &candidates);
+        self.inflight.insert(tx, Inflight { sender: node, frame });
+        self.scheduler.schedule_in(airtime, Event::PhyTxEnd { tx });
+    }
+
+    fn handle(&mut self, event: Event) -> Vec<Upcall<P>> {
+        match event {
+            Event::MacAttempt { node } => self.on_mac_attempt(node),
+            Event::SendAck { node, to, seq } => self.on_send_ack(node, to, seq),
+            Event::PhyTxEnd { tx } => self.on_tx_end(tx),
+            Event::AckTimeout { node, seq } => self.on_ack_timeout(node, seq),
+            Event::Heartbeat { node } => self.on_heartbeat(node),
+            Event::MobilityLeg { node } => self.on_mobility_leg(node),
+            Event::GridRefresh => self.on_grid_refresh(),
+            Event::Timer { node, token } => {
+                if self.is_alive(node) {
+                    vec![Upcall::Timer { node, token }]
+                } else {
+                    Vec::new()
+                }
+            }
+            Event::Fail { node } => self.on_fail(node),
+            Event::Join { node } => self.on_join(node),
+        }
+    }
+
+    fn on_mac_attempt(&mut self, node: NodeId) -> Vec<Upcall<P>> {
+        if !self.is_alive(node) || self.macs[node.index()].phase != MacPhase::Contending {
+            return Vec::new();
+        }
+        let pos = self.position_now(node);
+        if self.medium.channel_busy(node.0, pos) {
+            // Defer: retry a backoff after the channel is expected free.
+            let now = self.scheduler.now();
+            let idle_at = self.medium.busy_until(node.0, pos).unwrap_or(now).max(now);
+            let mac_cfg = self.config.mac;
+            let backoff = mac_cfg.slot
+                * u64::from(self.macs[node.index()].draw_backoff(&mut self.mac_rng));
+            let at = idle_at + mac_cfg.difs + backoff;
+            self.scheduler.schedule_at(at, Event::MacAttempt { node });
+            return Vec::new();
+        }
+        let mac = &mut self.macs[node.index()];
+        let Some(head) = mac.head() else {
+            mac.phase = MacPhase::Idle;
+            return Vec::new();
+        };
+        let frame = Frame {
+            src: node,
+            dst: head.dst,
+            seq: head.seq,
+            kind: head.kind.clone(),
+        };
+        let bytes = head.bytes;
+        if mac.retries > 0 {
+            self.stats.mac_retries += 1;
+        }
+        mac.phase = MacPhase::Transmitting;
+        self.transmit(node, frame, bytes);
+        Vec::new()
+    }
+
+    fn on_send_ack(&mut self, node: NodeId, to: NodeId, seq: u64) -> Vec<Upcall<P>> {
+        if !self.is_alive(node) {
+            return Vec::new();
+        }
+        // ACKs are sent SIFS after reception without carrier sensing, but
+        // a node that is busy transmitting its own frame cannot also send
+        // the ACK — drop it (the data sender will retry).
+        if self.macs[node.index()].phase == MacPhase::Transmitting {
+            return Vec::new();
+        }
+        let frame = Frame {
+            src: node,
+            dst: MacDst::Unicast(to),
+            seq: u64::MAX, // ACKs carry no data sequence of their own
+            kind: FrameKind::Ack { for_seq: seq },
+        };
+        self.transmit(node, frame, 0);
+        Vec::new()
+    }
+
+    fn on_tx_end(&mut self, tx: u64) -> Vec<Upcall<P>> {
+        let Some(Inflight { sender, frame }) = self.inflight.remove(&tx) else {
+            return Vec::new();
+        };
+        let decoded = self.medium.end_tx(TxId(tx));
+        let mut upcalls = Vec::new();
+
+        // Receiver side.
+        for rx in decoded {
+            let rx = NodeId(rx);
+            if !self.is_alive(rx) {
+                continue;
+            }
+            match &frame.kind {
+                FrameKind::Hello => {
+                    let expiry = self.scheduler.now()
+                        + self.config.heartbeat_period
+                            * u64::from(self.config.heartbeat_expiry_cycles);
+                    self.neighbors[rx.index()].insert(frame.src, expiry);
+                }
+                FrameKind::Ack { for_seq } => {
+                    if frame.dst == MacDst::Unicast(rx) {
+                        upcalls.extend(self.on_ack_received(rx, *for_seq));
+                    }
+                }
+                FrameKind::Data(payload) => match frame.dst {
+                    MacDst::Broadcast => {
+                        self.stats.delivered += 1;
+                        upcalls.push(Upcall::Frame {
+                            at: rx,
+                            from: frame.src,
+                            dst: frame.dst,
+                            payload: payload.clone(),
+                            overheard: false,
+                        });
+                    }
+                    MacDst::Unicast(dest) if dest == rx => {
+                        // ACK even duplicates; deliver only fresh frames.
+                        self.scheduler.schedule_in(
+                            self.config.mac.sifs,
+                            Event::SendAck {
+                                node: rx,
+                                to: frame.src,
+                                seq: frame.seq,
+                            },
+                        );
+                        if self.macs[rx.index()].accept_data(frame.src, frame.seq) {
+                            self.stats.delivered += 1;
+                            upcalls.push(Upcall::Frame {
+                                at: rx,
+                                from: frame.src,
+                                dst: frame.dst,
+                                payload: payload.clone(),
+                                overheard: false,
+                            });
+                        }
+                    }
+                    MacDst::Unicast(_) => {
+                        if self.config.promiscuous {
+                            upcalls.push(Upcall::Frame {
+                                at: rx,
+                                from: frame.src,
+                                dst: frame.dst,
+                                payload: payload.clone(),
+                                overheard: true,
+                            });
+                        }
+                    }
+                },
+            }
+        }
+
+        // Sender side. The phase guard protects against the (churn-only)
+        // corner case of a node crashing and rejoining while its frame was
+        // still in the air.
+        if self.is_alive(sender) && self.macs[sender.index()].phase == MacPhase::Transmitting {
+            match (&frame.kind, frame.dst) {
+                (FrameKind::Data(_), MacDst::Unicast(_)) => {
+                    let mac_cfg = self.config.mac;
+                    let timeout =
+                        mac_cfg.sifs + mac_cfg.ack_airtime() + SimDuration::from_micros(60);
+                    self.macs[sender.index()].phase = MacPhase::AwaitingAck { seq: frame.seq };
+                    let id = self.scheduler.schedule_in(
+                        timeout,
+                        Event::AckTimeout {
+                            node: sender,
+                            seq: frame.seq,
+                        },
+                    );
+                    self.nodes[sender.index()].ack_timeout = Some(id);
+                }
+                (FrameKind::Data(_) | FrameKind::Hello, _) => {
+                    // Broadcast data / hello: done after one transmission.
+                    if let Some(out) = self.macs[sender.index()].finish_head(self.config.mac.cw_min)
+                    {
+                        if let Some(token) = out.token {
+                            upcalls.push(Upcall::SendResult {
+                                node: sender,
+                                token,
+                                ok: true,
+                            });
+                        }
+                    }
+                    self.schedule_attempt_for_head(sender);
+                }
+                (FrameKind::Ack { .. }, _) => {
+                    // Fire-and-forget; the data path owns the MAC phase.
+                }
+            }
+        }
+        upcalls
+    }
+
+    fn on_ack_received(&mut self, node: NodeId, for_seq: u64) -> Vec<Upcall<P>> {
+        let mac = &mut self.macs[node.index()];
+        if mac.phase != (MacPhase::AwaitingAck { seq: for_seq }) {
+            return Vec::new();
+        }
+        if let Some(id) = self.nodes[node.index()].ack_timeout.take() {
+            self.scheduler.cancel(id);
+        }
+        let out = mac.finish_head(self.config.mac.cw_min).expect("head acked");
+        let mut upcalls = Vec::new();
+        if let Some(token) = out.token {
+            upcalls.push(Upcall::SendResult {
+                node,
+                token,
+                ok: true,
+            });
+        }
+        self.schedule_attempt_for_head(node);
+        upcalls
+    }
+
+    fn on_ack_timeout(&mut self, node: NodeId, seq: u64) -> Vec<Upcall<P>> {
+        if !self.is_alive(node) {
+            return Vec::new();
+        }
+        let mac_cfg = self.config.mac;
+        let mac = &mut self.macs[node.index()];
+        if mac.phase != (MacPhase::AwaitingAck { seq }) {
+            return Vec::new();
+        }
+        self.nodes[node.index()].ack_timeout = None;
+        mac.retries += 1;
+        if mac.retries >= mac_cfg.retry_limit {
+            self.stats.mac_failures += 1;
+            let out = mac.finish_head(mac_cfg.cw_min).expect("head failed");
+            let mut upcalls = Vec::new();
+            if let Some(token) = out.token {
+                upcalls.push(Upcall::SendResult {
+                    node,
+                    token,
+                    ok: false,
+                });
+            }
+            self.schedule_attempt_for_head(node);
+            upcalls
+        } else {
+            mac.grow_cw(mac_cfg.cw_max);
+            let backoff = mac_cfg.slot * u64::from(mac.draw_backoff(&mut self.mac_rng));
+            mac.phase = MacPhase::Contending;
+            self.scheduler
+                .schedule_in(mac_cfg.difs + backoff, Event::MacAttempt { node });
+            Vec::new()
+        }
+    }
+
+    fn on_heartbeat(&mut self, node: NodeId) -> Vec<Upcall<P>> {
+        if self.is_alive(node) {
+            let bytes = self.config.hello_bytes;
+            let was_idle =
+                self.macs[node.index()].enqueue(MacDst::Broadcast, FrameKind::Hello, None, bytes);
+            if was_idle {
+                self.schedule_attempt_for_head(node);
+            }
+            self.scheduler
+                .schedule_in(self.config.heartbeat_period, Event::Heartbeat { node });
+        }
+        Vec::new()
+    }
+
+    fn on_mobility_leg(&mut self, node: NodeId) -> Vec<Upcall<P>> {
+        if !self.is_alive(node) {
+            return Vec::new();
+        }
+        let now = self.scheduler.now();
+        let current = self.nodes[node.index()].motion.position(now);
+        let mut mobility_rng = rng::entity_stream(
+            self.config.seed,
+            streams::MOBILITY,
+            u64::from(node.0) ^ now.as_micros(),
+        );
+        let motion = mobility::next_leg(
+            self.config.mobility,
+            current,
+            self.side,
+            now,
+            &mut mobility_rng,
+        );
+        let next = motion.next_transition();
+        self.nodes[node.index()].motion = motion;
+        self.scheduler.schedule_at(next, Event::MobilityLeg { node });
+        Vec::new()
+    }
+
+    fn on_grid_refresh(&mut self) -> Vec<Upcall<P>> {
+        let now = self.scheduler.now();
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].alive {
+                let p = self.nodes[i].motion.position(now);
+                self.grid.update(i as u32, p);
+            }
+        }
+        self.scheduler
+            .schedule_in(SimDuration::from_secs(1), Event::GridRefresh);
+        Vec::new()
+    }
+
+    fn on_fail(&mut self, node: NodeId) -> Vec<Upcall<P>> {
+        if !self.is_alive(node) {
+            return Vec::new();
+        }
+        self.nodes[node.index()].alive = false;
+        if let Some(id) = self.nodes[node.index()].ack_timeout.take() {
+            self.scheduler.cancel(id);
+        }
+        self.grid.remove(node.0);
+        self.neighbors[node.index()].clear();
+        let mut upcalls: Vec<Upcall<P>> = self.macs[node.index()]
+            .drain_tokens()
+            .into_iter()
+            .map(|token| Upcall::SendResult {
+                node,
+                token,
+                ok: false,
+            })
+            .collect();
+        upcalls.push(Upcall::NodeFailed { node });
+        upcalls
+    }
+
+    fn on_join(&mut self, node: NodeId) -> Vec<Upcall<P>> {
+        if self.is_alive(node) {
+            return Vec::new();
+        }
+        let now = self.scheduler.now();
+        let mut placement_rng = rng::entity_stream(
+            self.config.seed,
+            streams::PLACEMENT,
+            u64::from(node.0) ^ now.as_micros(),
+        );
+        let p = Point::new(
+            placement_rng.gen::<f64>() * self.side,
+            placement_rng.gen::<f64>() * self.side,
+        );
+        let motion = mobility::initial_motion(self.config.mobility, p, self.side, now, &mut placement_rng);
+        if motion.next_transition() < SimTime::MAX {
+            self.scheduler
+                .schedule_at(motion.next_transition(), Event::MobilityLeg { node });
+        }
+        self.nodes[node.index()].motion = motion;
+        self.nodes[node.index()].alive = true;
+        self.grid.update(node.0, p);
+        // Announce immediately, then on the regular cycle.
+        self.scheduler.schedule_in(SimDuration::ZERO, Event::Heartbeat { node });
+        vec![Upcall::NodeJoined { node }]
+    }
+}

@@ -1,0 +1,457 @@
+//! Physical layer: path loss, reception decisions, and the shared medium.
+//!
+//! Implements both reception models of §2.3:
+//!
+//! - the **protocol model** (unit disk with an interference guard zone),
+//! - the **physical model** (SINR with cumulative interference and capture
+//!   — the SWANS `RadioNoiseAdditive` behaviour used by the paper).
+//!
+//! The path-loss curve is *calibrated*: the constant is chosen so that the
+//! received power at exactly [`PhyConfig::ideal_range_m`] equals
+//! [`PhyConfig::rx_threshold_dbm`], making the "ideal reception range
+//! 200 m" of Fig. 2 exact by construction.
+
+use crate::config::{dbm_to_mw, PathLoss, PhyConfig, ReceptionModel};
+use crate::geometry::Point;
+use pqs_sim::SimTime;
+
+/// Received power in dBm at distance `d` metres.
+///
+/// Never exceeds the transmit power; at `d = 0` the full transmit power is
+/// received.
+pub fn received_power_dbm(phy: &PhyConfig, d: f64) -> f64 {
+    if d <= 0.0 {
+        return phy.tx_power_dbm;
+    }
+    let r = phy.ideal_range_m;
+    let extra_loss_db = match phy.path_loss {
+        PathLoss::FreeSpace => 20.0 * (d / r).log10(),
+        PathLoss::TwoRayGround { crossover_m: c } => {
+            // d⁻² below the crossover, d⁻⁴ above; calibrated at `r`
+            // (which is beyond the crossover for all sane configs).
+            let loss_from = |x: f64| {
+                if x >= c {
+                    40.0 * (x / c).log10()
+                } else {
+                    20.0 * (x / c).log10()
+                }
+            };
+            loss_from(d) - loss_from(r)
+        }
+    };
+    (phy.rx_threshold_dbm - extra_loss_db).min(phy.tx_power_dbm)
+}
+
+/// Received power in milliwatts at distance `d` metres.
+pub fn received_power_mw(phy: &PhyConfig, d: f64) -> f64 {
+    dbm_to_mw(received_power_dbm(phy, d))
+}
+
+/// An opaque identifier for one in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(pub u64);
+
+#[derive(Debug, Clone)]
+struct OngoingTx {
+    id: TxId,
+    sender: u32,
+    pos: Point,
+    end: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRx {
+    tx_id: TxId,
+    rx_node: u32,
+    rx_pos: Point,
+    signal_mw: f64,
+    corrupted: bool,
+}
+
+/// The shared wireless medium: tracks in-flight transmissions and decides
+/// which receivers successfully decode each frame.
+///
+/// The driver (the network layer) calls [`Medium::begin_tx`] with the
+/// candidate receivers when a node starts transmitting, and
+/// [`Medium::end_tx`] when the airtime elapses; the latter returns the set
+/// of receivers that decoded the frame.
+///
+/// Model simplifications (documented deviations from a full 802.11 PHY):
+///
+/// - a receiver locks onto the first decodable frame and does not switch
+///   to a later, stronger one (no mid-frame capture re-lock),
+/// - interference from transmitters beyond
+///   [`PhyConfig::interference_range_m`] is folded into the noise floor,
+/// - propagation delay is neglected (≤ 1 µs at these ranges).
+#[derive(Debug)]
+pub struct Medium {
+    phy: PhyConfig,
+    ongoing: Vec<OngoingTx>,
+    pending: Vec<PendingRx>,
+}
+
+impl Medium {
+    /// Creates an idle medium with the given PHY parameters.
+    pub fn new(phy: PhyConfig) -> Self {
+        Medium {
+            phy,
+            ongoing: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Returns the PHY configuration.
+    pub fn phy(&self) -> &PhyConfig {
+        &self.phy
+    }
+
+    /// The distance (m) within which a transmitter marks the channel busy.
+    pub fn sense_range_m(&self) -> f64 {
+        match self.phy.reception {
+            ReceptionModel::Protocol { range_m, delta } => range_m * (1.0 + delta),
+            ReceptionModel::Physical { .. } => self.phy.cs_range_m(),
+        }
+    }
+
+    /// Total interference power (mW) at `pos`, excluding transmissions by
+    /// `exclude_sender` and the frame `exclude_tx` itself.
+    fn interference_mw(&self, pos: Point, exclude_tx: TxId, exclude_sender: u32) -> f64 {
+        self.ongoing
+            .iter()
+            .filter(|t| t.id != exclude_tx && t.sender != exclude_sender)
+            .map(|t| {
+                let d = t.pos.distance(pos);
+                if d > self.phy.interference_range_m {
+                    0.0
+                } else {
+                    received_power_mw(&self.phy, d)
+                }
+            })
+            .sum()
+    }
+
+    fn sinr_ok(&self, signal_mw: f64, pos: Point, tx_id: TxId, rx_node: u32, beta: f64) -> bool {
+        let noise = dbm_to_mw(self.phy.noise_dbm) + self.interference_mw(pos, tx_id, rx_node);
+        signal_mw / noise >= beta
+    }
+
+    /// Registers a transmission starting now and lasting until `end`.
+    ///
+    /// `candidates` are the nodes (with their current positions) that
+    /// might hear the frame — typically everything within
+    /// [`PhyConfig::interference_range_m`] of the sender. The medium
+    /// decides which of them start receiving it.
+    ///
+    /// A node that starts transmitting aborts any reception it was in the
+    /// middle of (half-duplex), and the new transmission may corrupt
+    /// receptions in progress at other nodes (collision / hidden
+    /// terminal).
+    pub fn begin_tx(
+        &mut self,
+        id: TxId,
+        sender: u32,
+        sender_pos: Point,
+        end: SimTime,
+        candidates: &[(u32, Point)],
+    ) {
+        // Half-duplex: the sender can no longer receive.
+        self.pending.retain(|p| p.rx_node != sender);
+
+        // The new signal interferes with receptions already in progress.
+        match self.phy.reception {
+            ReceptionModel::Protocol { range_m, delta } => {
+                let guard = range_m * (1.0 + delta);
+                for p in &mut self.pending {
+                    if sender_pos.distance(p.rx_pos) <= guard {
+                        p.corrupted = true;
+                    }
+                }
+            }
+            ReceptionModel::Physical { beta } => {
+                let noise_floor = dbm_to_mw(self.phy.noise_dbm);
+                // Only receivers the new signal actually reaches need a
+                // SINR re-check; everyone else's noise term is unchanged.
+                let mut corrupt = vec![false; self.pending.len()];
+                for (i, p) in self.pending.iter().enumerate() {
+                    if p.corrupted {
+                        continue;
+                    }
+                    let d = sender_pos.distance(p.rx_pos);
+                    if d > self.phy.interference_range_m {
+                        continue;
+                    }
+                    let interference = self.interference_mw(p.rx_pos, p.tx_id, p.rx_node)
+                        + received_power_mw(&self.phy, d);
+                    if p.signal_mw / (noise_floor + interference) < beta {
+                        corrupt[i] = true;
+                    }
+                }
+                for (p, c) in self.pending.iter_mut().zip(corrupt) {
+                    if c {
+                        p.corrupted = true;
+                    }
+                }
+            }
+        }
+
+        // Now decide who starts receiving the new frame.
+        let busy_receivers: std::collections::HashSet<u32> = self
+            .pending
+            .iter()
+            .map(|p| p.rx_node)
+            .chain(self.ongoing.iter().map(|t| t.sender))
+            .collect();
+        let mut new_pending = Vec::new();
+        for &(node, pos) in candidates {
+            if node == sender || busy_receivers.contains(&node) {
+                continue;
+            }
+            let d = sender_pos.distance(pos);
+            match self.phy.reception {
+                ReceptionModel::Protocol { range_m, delta } => {
+                    if d > range_m {
+                        continue;
+                    }
+                    // Corrupted from the start if any other ongoing
+                    // transmitter sits inside the guard zone.
+                    let guard = range_m * (1.0 + delta);
+                    let jammed = self
+                        .ongoing
+                        .iter()
+                        .any(|t| t.sender != sender && t.pos.distance(pos) <= guard);
+                    new_pending.push(PendingRx {
+                        tx_id: id,
+                        rx_node: node,
+                        rx_pos: pos,
+                        signal_mw: f64::INFINITY,
+                        corrupted: jammed,
+                    });
+                }
+                ReceptionModel::Physical { beta } => {
+                    let signal_dbm = received_power_dbm(&self.phy, d);
+                    if signal_dbm < self.phy.rx_threshold_dbm {
+                        continue;
+                    }
+                    let signal_mw = dbm_to_mw(signal_dbm);
+                    let ok = self.sinr_ok(signal_mw, pos, id, node, beta);
+                    new_pending.push(PendingRx {
+                        tx_id: id,
+                        rx_node: node,
+                        rx_pos: pos,
+                        signal_mw,
+                        corrupted: !ok,
+                    });
+                }
+            }
+        }
+        self.pending.extend(new_pending);
+        self.ongoing.push(OngoingTx {
+            id,
+            sender,
+            pos: sender_pos,
+            end,
+        });
+    }
+
+    /// Finishes transmission `id` and returns the nodes that successfully
+    /// decoded the frame.
+    pub fn end_tx(&mut self, id: TxId) -> Vec<u32> {
+        self.ongoing.retain(|t| t.id != id);
+        let mut decoded = Vec::new();
+        self.pending.retain(|p| {
+            if p.tx_id == id {
+                if !p.corrupted {
+                    decoded.push(p.rx_node);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        decoded
+    }
+
+    /// Returns `true` if the channel appears busy to a node at `pos`
+    /// (carrier sense), either because it is transmitting itself or
+    /// because it senses an ongoing transmission.
+    pub fn channel_busy(&self, node: u32, pos: Point) -> bool {
+        let sense = self.sense_range_m();
+        self.ongoing
+            .iter()
+            .any(|t| t.sender == node || t.pos.distance(pos) <= sense)
+    }
+
+    /// The latest end time among transmissions this node can sense — when
+    /// the channel is next expected to go idle — or `None` if it already
+    /// appears idle.
+    pub fn busy_until(&self, node: u32, pos: Point) -> Option<SimTime> {
+        let sense = self.sense_range_m();
+        self.ongoing
+            .iter()
+            .filter(|t| t.sender == node || t.pos.distance(pos) <= sense)
+            .map(|t| t.end)
+            .max()
+    }
+
+    /// Number of in-flight transmissions (diagnostics).
+    pub fn ongoing_count(&self) -> usize {
+        self.ongoing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phy() -> PhyConfig {
+        PhyConfig::default()
+    }
+
+    #[test]
+    fn calibration_exact_at_ideal_range() {
+        let p = phy();
+        let at_range = received_power_dbm(&p, 200.0);
+        assert!((at_range - p.rx_threshold_dbm).abs() < 1e-9);
+        assert!(received_power_dbm(&p, 199.0) > p.rx_threshold_dbm);
+        assert!(received_power_dbm(&p, 201.0) < p.rx_threshold_dbm);
+    }
+
+    #[test]
+    fn power_monotone_decreasing_and_capped() {
+        let p = phy();
+        assert_eq!(received_power_dbm(&p, 0.0), p.tx_power_dbm);
+        let mut last = f64::INFINITY;
+        for d in [1.0, 10.0, 50.0, 86.0, 100.0, 200.0, 400.0, 1000.0] {
+            let pw = received_power_dbm(&p, d);
+            assert!(pw <= p.tx_power_dbm);
+            assert!(pw < last, "power must decrease with distance");
+            last = pw;
+        }
+    }
+
+    #[test]
+    fn two_ray_slope_changes_at_crossover() {
+        let p = phy();
+        // d⁻² regime: halving distance gains 6 dB; d⁻⁴ regime: 12 dB.
+        let near = received_power_dbm(&p, 20.0) - received_power_dbm(&p, 40.0);
+        assert!((near - 6.02).abs() < 0.1, "near-field slope {near}");
+        let far = received_power_dbm(&p, 150.0) - received_power_dbm(&p, 300.0);
+        assert!((far - 12.04).abs() < 0.1, "far-field slope {far}");
+    }
+
+    #[test]
+    fn free_space_slope() {
+        let p = PhyConfig {
+            path_loss: PathLoss::FreeSpace,
+            ..phy()
+        };
+        let slope = received_power_dbm(&p, 100.0) - received_power_dbm(&p, 200.0);
+        assert!((slope - 6.02).abs() < 0.1);
+    }
+
+    fn tx(medium: &mut Medium, id: u64, sender: u32, pos: Point, cands: &[(u32, Point)]) {
+        medium.begin_tx(TxId(id), sender, pos, SimTime::from_millis(1), cands);
+    }
+
+    #[test]
+    fn clean_reception_in_range() {
+        let mut m = Medium::new(phy());
+        let rx = (1u32, Point::new(100.0, 0.0));
+        tx(&mut m, 1, 0, Point::new(0.0, 0.0), &[rx]);
+        assert_eq!(m.end_tx(TxId(1)), vec![1]);
+    }
+
+    #[test]
+    fn out_of_range_receiver_hears_nothing() {
+        let mut m = Medium::new(phy());
+        let rx = (1u32, Point::new(250.0, 0.0));
+        tx(&mut m, 1, 0, Point::new(0.0, 0.0), &[rx]);
+        assert!(m.end_tx(TxId(1)).is_empty());
+    }
+
+    #[test]
+    fn collision_corrupts_reception() {
+        // Hidden-terminal: receivers between two simultaneous senders.
+        let mut m = Medium::new(phy());
+        let rx = (2u32, Point::new(100.0, 0.0));
+        tx(&mut m, 1, 0, Point::new(0.0, 0.0), &[rx]);
+        // Second sender equally far: SINR ≈ 0 dB < 10 dB.
+        tx(&mut m, 2, 1, Point::new(200.0, 0.0), &[rx]);
+        assert!(m.end_tx(TxId(1)).is_empty(), "first frame corrupted");
+        assert!(m.end_tx(TxId(2)).is_empty(), "receiver was locked on frame 1");
+    }
+
+    #[test]
+    fn capture_effect_strong_signal_survives() {
+        // The interferer is far enough that SINR stays above β = 10.
+        let mut m = Medium::new(phy());
+        let rx = (2u32, Point::new(50.0, 0.0));
+        tx(&mut m, 1, 0, Point::new(0.0, 0.0), &[rx]);
+        tx(&mut m, 2, 1, Point::new(590.0, 0.0), &[]);
+        assert_eq!(m.end_tx(TxId(1)), vec![2], "strong frame captured");
+    }
+
+    #[test]
+    fn half_duplex_sender_cannot_receive() {
+        let mut m = Medium::new(phy());
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(100.0, 0.0);
+        tx(&mut m, 1, 0, a, &[(1, b)]);
+        // Node 1 starts its own transmission mid-reception.
+        tx(&mut m, 2, 1, b, &[(0, a)]);
+        assert!(m.end_tx(TxId(1)).is_empty(), "receiver turned transmitter");
+        // Node 0 is also a transmitter, so it cannot hear node 1 either.
+        assert!(m.end_tx(TxId(2)).is_empty());
+    }
+
+    #[test]
+    fn carrier_sense() {
+        let mut m = Medium::new(phy());
+        let origin = Point::new(0.0, 0.0);
+        assert!(!m.channel_busy(5, origin));
+        tx(&mut m, 1, 0, origin, &[]);
+        assert!(m.channel_busy(5, Point::new(250.0, 0.0)), "within CS range");
+        assert!(!m.channel_busy(5, Point::new(400.0, 0.0)), "beyond CS range");
+        assert!(m.channel_busy(0, Point::new(5000.0, 0.0)), "own tx always sensed");
+        assert_eq!(
+            m.busy_until(5, Point::new(250.0, 0.0)),
+            Some(SimTime::from_millis(1))
+        );
+        m.end_tx(TxId(1));
+        assert!(!m.channel_busy(5, Point::new(250.0, 0.0)));
+    }
+
+    #[test]
+    fn protocol_model_guard_zone() {
+        let mut m = Medium::new(PhyConfig::protocol_model());
+        let rx = (2u32, Point::new(150.0, 0.0));
+        tx(&mut m, 1, 0, Point::new(0.0, 0.0), &[rx]);
+        // Interferer within (1+Δ)·r = 300 m of the receiver corrupts.
+        tx(&mut m, 2, 1, Point::new(400.0, 0.0), &[]);
+        assert!(m.end_tx(TxId(1)).is_empty());
+        // Interferer beyond the guard zone does not.
+        let mut m2 = Medium::new(PhyConfig::protocol_model());
+        tx(&mut m2, 1, 0, Point::new(0.0, 0.0), &[rx]);
+        tx(&mut m2, 2, 1, Point::new(500.0, 0.0), &[]);
+        assert_eq!(m2.end_tx(TxId(1)), vec![2]);
+    }
+
+    #[test]
+    fn cumulative_interference_adds_up() {
+        // Two interferers, each individually tolerable, jointly push SINR
+        // below β for an edge-of-range signal. Signal at 195 m ≈ −70.6 dBm;
+        // an interferer at 400 m contributes ≈ −83.0 dBm, so one leaves
+        // SINR ≈ 12 dB (fine) but two leave ≈ 9.5 dB < β = 10 dB.
+        let rx = (9u32, Point::new(195.0, 0.0));
+        let mut one = Medium::new(phy());
+        tx(&mut one, 1, 0, Point::new(0.0, 0.0), &[rx]);
+        tx(&mut one, 2, 1, Point::new(595.0, 0.0), &[]);
+        assert_eq!(one.end_tx(TxId(1)), vec![9], "single interferer tolerated");
+
+        let mut two = Medium::new(phy());
+        tx(&mut two, 1, 0, Point::new(0.0, 0.0), &[rx]);
+        tx(&mut two, 2, 1, Point::new(595.0, 0.0), &[]);
+        tx(&mut two, 3, 2, Point::new(195.0, 400.0), &[]);
+        assert!(two.end_tx(TxId(1)).is_empty(), "cumulative noise corrupts");
+    }
+}

@@ -1,0 +1,62 @@
+//! Link-level counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by the network substrate.
+///
+/// These count *link-level* activity. The paper's "number of messages"
+/// metric (network-layer messages) is counted by the layers above — each
+/// call to [`crate::Network::send`] is one network-layer hop — while MAC
+/// retransmissions, ACKs and hellos are protocol overhead visible here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Frames put on the air (every PHY transmission, including retries).
+    pub phy_tx: u64,
+    /// Data frame transmissions (including MAC retries).
+    pub data_tx: u64,
+    /// Hello (heartbeat) transmissions.
+    pub hello_tx: u64,
+    /// ACK transmissions.
+    pub ack_tx: u64,
+    /// Data frames delivered to an upper layer (after deduplication).
+    pub delivered: u64,
+    /// Unicast sends abandoned after exhausting the retry limit.
+    pub mac_failures: u64,
+    /// MAC retransmission attempts (retries only, not first attempts).
+    pub mac_retries: u64,
+}
+
+impl NetStats {
+    /// Merges another stats record into this one (for multi-run sums).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.phy_tx += other.phy_tx;
+        self.data_tx += other.data_tx;
+        self.hello_tx += other.hello_tx;
+        self.ack_tx += other.ack_tx;
+        self.delivered += other.delivered;
+        self.mac_failures += other.mac_failures;
+        self.mac_retries += other.mac_retries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = NetStats {
+            phy_tx: 1,
+            data_tx: 2,
+            hello_tx: 3,
+            ack_tx: 4,
+            delivered: 5,
+            mac_failures: 6,
+            mac_retries: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.phy_tx, 2);
+        assert_eq!(a.mac_retries, 14);
+        assert_eq!(NetStats::default().phy_tx, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end behavioural tests for the network substrate: MAC
+//! acknowledgements and retries, heartbeat neighbour discovery, mobility
+//! and churn.
+
+use pqs_net::{MacDst, MobilityModel, NetConfig, Network, NodeId, Stack, Upcall};
+use pqs_sim::{SimDuration, SimTime};
+
+/// Records every upcall.
+#[derive(Default)]
+struct Recorder {
+    frames: Vec<(NodeId, NodeId, String, bool)>,
+    results: Vec<(NodeId, u64, bool)>,
+    timers: Vec<(NodeId, u64)>,
+    failed: Vec<NodeId>,
+    joined: Vec<NodeId>,
+}
+
+impl Stack<String> for Recorder {
+    fn on_upcall(&mut self, _net: &mut Network<String>, up: Upcall<String>) {
+        match up {
+            Upcall::Frame {
+                at,
+                from,
+                payload,
+                overheard,
+                ..
+            } => self.frames.push((at, from, payload, overheard)),
+            Upcall::SendResult { node, token, ok } => self.results.push((node, token, ok)),
+            Upcall::Timer { node, token } => self.timers.push((node, token)),
+            Upcall::NodeFailed { node } => self.failed.push(node),
+            Upcall::NodeJoined { node } => self.joined.push(node),
+        }
+    }
+}
+
+fn static_config(n: usize, seed: u64) -> NetConfig {
+    let mut cfg = NetConfig::paper(n);
+    cfg.mobility = MobilityModel::Static;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Finds a pair of one-hop neighbours.
+fn neighbour_pair(net: &Network<String>) -> (NodeId, NodeId) {
+    for node in net.alive_nodes() {
+        if let Some(&nbr) = net.neighbors(node).first() {
+            return (node, nbr);
+        }
+    }
+    panic!("no connected pair in network");
+}
+
+#[test]
+fn unicast_is_delivered_and_acked() {
+    let mut net = Network::new(static_config(50, 11));
+    let (a, b) = neighbour_pair(&net);
+    net.send(a, MacDst::Unicast(b), "payload".into(), 42);
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_secs(2));
+    assert_eq!(rec.results, vec![(a, 42, true)], "ACKed exactly once");
+    let delivered: Vec<_> = rec.frames.iter().filter(|f| f.0 == b && f.1 == a).collect();
+    assert_eq!(delivered.len(), 1, "delivered exactly once");
+    assert_eq!(delivered[0].2, "payload");
+    assert!(!delivered[0].3, "not overheard");
+    assert!(net.stats().ack_tx >= 1);
+}
+
+#[test]
+fn unicast_to_unreachable_node_fails_after_retries() {
+    let mut net = Network::new(static_config(50, 12));
+    let (a, _) = neighbour_pair(&net);
+    // Find a node that is NOT a's neighbour and out of range.
+    let far = net
+        .alive_nodes()
+        .into_iter()
+        .find(|&x| x != a && net.position(a).distance(net.position(x)) > 800.0)
+        .expect("some far node");
+    net.send(a, MacDst::Unicast(far), "lost".into(), 7);
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_secs(5));
+    assert_eq!(rec.results, vec![(a, 7, false)], "cross-layer failure signal");
+    assert!(rec.frames.is_empty());
+    assert_eq!(net.stats().mac_failures, 1);
+    assert!(
+        net.stats().mac_retries >= 6,
+        "retried up to the limit: {}",
+        net.stats().mac_retries
+    );
+}
+
+#[test]
+fn broadcast_reaches_only_nodes_in_range() {
+    let mut net = Network::new(static_config(80, 13));
+    let (a, _) = neighbour_pair(&net);
+    net.send(a, MacDst::Broadcast, "flood".into(), 1);
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_secs(2));
+    assert_eq!(rec.results, vec![(a, 1, true)], "broadcast send completes");
+    let range = net.config().phy.ideal_range_m;
+    for &(at, from, _, _) in &rec.frames {
+        assert_eq!(from, a);
+        assert!(
+            net.position(at).distance(net.position(a)) <= range + 1.0,
+            "receiver {at} beyond radio range"
+        );
+    }
+    assert!(!rec.frames.is_empty());
+}
+
+#[test]
+fn heartbeats_discover_neighbours_without_prepopulation() {
+    let mut cfg = static_config(50, 14);
+    cfg.prepopulate_neighbors = false;
+    let mut net = Network::new(cfg);
+    let a = net.alive_nodes()[0];
+    assert!(net.neighbors(a).is_empty(), "tables start empty");
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_secs(25));
+    // After two heartbeat cycles every node with in-range peers knows some.
+    let g = net.connectivity_graph();
+    let mut discovered = 0;
+    let mut expected = 0;
+    for node in net.alive_nodes() {
+        let truth = g.degree(node.index());
+        if truth > 0 {
+            expected += 1;
+            if !net.neighbors(node).is_empty() {
+                discovered += 1;
+            }
+        }
+    }
+    assert!(
+        discovered * 10 >= expected * 9,
+        "only {discovered}/{expected} nodes discovered neighbours"
+    );
+}
+
+#[test]
+fn timers_fire_and_cancel() {
+    let mut net = Network::new(static_config(20, 15));
+    let a = net.alive_nodes()[0];
+    net.set_timer(a, SimDuration::from_millis(100), 1);
+    let id = net.set_timer(a, SimDuration::from_millis(200), 2);
+    net.set_timer(a, SimDuration::from_millis(300), 3);
+    assert!(net.cancel_timer(id));
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_secs(1));
+    assert_eq!(rec.timers, vec![(a, 1), (a, 3)]);
+}
+
+#[test]
+fn churn_fail_and_rejoin() {
+    let mut net = Network::new(static_config(40, 16));
+    let victim = net.alive_nodes()[5];
+    net.schedule_fail(victim, SimTime::from_secs(1));
+    net.schedule_join(victim, SimTime::from_secs(50));
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_secs(10));
+    assert_eq!(rec.failed, vec![victim]);
+    assert!(!net.is_alive(victim));
+    assert_eq!(net.alive_nodes().len(), 39);
+
+    net.run(&mut rec, SimTime::from_secs(80));
+    assert_eq!(rec.joined, vec![victim]);
+    assert!(net.is_alive(victim));
+    assert_eq!(net.alive_nodes().len(), 40);
+}
+
+#[test]
+fn failed_node_neither_sends_nor_receives() {
+    let mut net = Network::new(static_config(40, 17));
+    let (a, b) = neighbour_pair(&net);
+    net.schedule_fail(b, SimTime::from_millis(1));
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_millis(10));
+    // Now b is down; a unicast to it must fail at the MAC.
+    net.send(a, MacDst::Unicast(b), "dead letter".into(), 9);
+    assert!(!net.send(b, MacDst::Broadcast, "ghost".into(), 10), "dead node cannot send");
+    net.run(&mut rec, SimTime::from_secs(5));
+    assert!(rec.results.contains(&(a, 9, false)));
+    assert!(rec.frames.iter().all(|f| f.0 != b), "dead node received nothing");
+}
+
+#[test]
+fn mobile_nodes_move_and_tables_adapt() {
+    let mut cfg = NetConfig::paper(50);
+    cfg.mobility = MobilityModel::fast(20.0);
+    cfg.seed = 18;
+    let mut net = Network::new(cfg);
+    let a = net.alive_nodes()[0];
+    let start = net.position(a);
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_secs(120));
+    let moved = net.position(a).distance(start);
+    assert!(moved > 50.0, "node barely moved: {moved} m");
+    // Neighbour views remain plausible: mostly within ~1.5× range of truth
+    // (staleness up to the expiry window is expected).
+    let range = net.config().phy.ideal_range_m;
+    let mut total = 0;
+    let mut close = 0;
+    for node in net.alive_nodes() {
+        for nbr in net.neighbors(node) {
+            total += 1;
+            if net.position(node).distance(net.position(nbr)) <= 2.5 * range {
+                close += 1;
+            }
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        close * 10 >= total * 8,
+        "too many wildly stale entries: {close}/{total}"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = |seed: u64| {
+        let mut net = Network::new(static_config(60, seed));
+        let (a, b) = neighbour_pair(&net);
+        net.send(a, MacDst::Unicast(b), "x".into(), 1);
+        net.send(b, MacDst::Broadcast, "y".into(), 2);
+        let mut rec = Recorder::default();
+        net.run(&mut rec, SimTime::from_secs(30));
+        (
+            *net.stats(),
+            rec.frames.len(),
+            rec.results.clone(),
+        )
+    };
+    assert_eq!(run(99), run(99), "same seed, same trace");
+    assert_ne!(run(99).0, run(100).0, "different seeds diverge");
+}
+
+#[test]
+fn promiscuous_mode_overhears_unicast() {
+    let mut cfg = static_config(60, 19);
+    cfg.promiscuous = true;
+    let mut net = Network::new(cfg);
+    // Pick a sender with at least two neighbours: the second overhears.
+    let (a, b) = net
+        .alive_nodes()
+        .into_iter()
+        .find_map(|n| {
+            let nbrs = net.neighbors(n);
+            (nbrs.len() >= 2).then(|| (n, nbrs[0]))
+        })
+        .expect("dense enough");
+    net.send(a, MacDst::Unicast(b), "secret".into(), 1);
+    let mut rec = Recorder::default();
+    net.run(&mut rec, SimTime::from_secs(2));
+    assert!(
+        rec.frames.iter().any(|f| f.3),
+        "someone should have overheard the unicast"
+    );
+    let direct: Vec<_> = rec.frames.iter().filter(|f| !f.3).collect();
+    assert_eq!(direct.len(), 1);
+    assert_eq!(direct[0].0, b);
+}

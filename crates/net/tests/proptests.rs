@@ -1,0 +1,100 @@
+//! Property-based tests for geometry, power math and the PHY.
+
+use proptest::prelude::*;
+use pqs_net::config::{dbm_to_mw, mw_to_dbm};
+use pqs_net::geometry::{Point, SpatialGrid};
+use pqs_net::phy::{received_power_dbm, Medium, TxId};
+use pqs_net::{PathLoss, PhyConfig};
+use pqs_sim::SimTime;
+
+proptest! {
+    /// dBm ↔ mW conversions are inverse of each other.
+    #[test]
+    fn power_conversion_roundtrip(dbm in -150.0f64..50.0) {
+        let back = mw_to_dbm(dbm_to_mw(dbm));
+        prop_assert!((back - dbm).abs() < 1e-9);
+    }
+
+    /// Received power decreases monotonically with distance, for both
+    /// path-loss models, and never exceeds the transmit power.
+    #[test]
+    fn path_loss_monotone(d1 in 0.0f64..2_000.0, d2 in 0.0f64..2_000.0, two_ray in any::<bool>()) {
+        let phy = PhyConfig {
+            path_loss: if two_ray {
+                PathLoss::TwoRayGround { crossover_m: 86.0 }
+            } else {
+                PathLoss::FreeSpace
+            },
+            ..PhyConfig::default()
+        };
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let p_near = received_power_dbm(&phy, near);
+        let p_far = received_power_dbm(&phy, far);
+        prop_assert!(p_near >= p_far - 1e-9);
+        prop_assert!(p_near <= phy.tx_power_dbm + 1e-9);
+    }
+
+    /// Grid queries return a superset of the true in-range set.
+    #[test]
+    fn grid_superset_property(
+        points in proptest::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..60),
+        qx in 0.0f64..1000.0,
+        qy in 0.0f64..1000.0,
+        radius in 10.0f64..400.0,
+    ) {
+        let mut grid = SpatialGrid::new(1000.0, 100.0, points.len());
+        for (i, &(x, y)) in points.iter().enumerate() {
+            grid.update(i as u32, Point::new(x, y));
+        }
+        let q = Point::new(qx, qy);
+        let found: Vec<u32> = grid.nearby(q, radius).collect();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            if q.distance(Point::new(x, y)) <= radius {
+                prop_assert!(
+                    found.contains(&(i as u32)),
+                    "point {i} within {radius} missed by grid"
+                );
+            }
+        }
+    }
+
+    /// A single transmission with no interference is decoded by exactly
+    /// the candidates within the ideal range (physical model).
+    #[test]
+    fn clean_reception_boundary(
+        rx_positions in proptest::collection::vec((0.0f64..600.0, 0.0f64..600.0), 1..20),
+    ) {
+        let phy = PhyConfig::default();
+        let mut medium = Medium::new(phy);
+        let sender_pos = Point::new(300.0, 300.0);
+        let candidates: Vec<(u32, Point)> = rx_positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (i as u32 + 1, Point::new(x, y)))
+            .collect();
+        medium.begin_tx(TxId(1), 0, sender_pos, SimTime::from_millis(1), &candidates);
+        let decoded = medium.end_tx(TxId(1));
+        for (id, pos) in candidates {
+            let in_range = sender_pos.distance(pos) <= phy.ideal_range_m;
+            prop_assert_eq!(
+                decoded.contains(&id),
+                in_range,
+                "receiver at {} m", sender_pos.distance(pos)
+            );
+        }
+    }
+
+    /// Point::lerp stays on the segment and hits the endpoints.
+    #[test]
+    fn lerp_on_segment(
+        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+        bx in -100.0f64..100.0, by in -100.0f64..100.0,
+        t in 0.0f64..1.0,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let p = a.lerp(b, t);
+        let total = a.distance(b);
+        prop_assert!(a.distance(p) + p.distance(b) <= total + 1e-6);
+    }
+}

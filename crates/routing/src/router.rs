@@ -1,0 +1,1113 @@
+//! The AODV protocol engine.
+
+use crate::table::RouteTable;
+use pqs_net::{MacDst, Network, NodeId, Upcall};
+use pqs_sim::{EventId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Tokens with this bit set belong to the router; the application layer
+/// must allocate its link-level tokens below this bit.
+pub const ROUTER_TOKEN_BIT: u64 = 1 << 63;
+
+/// Wire size of AODV control packets (RREQ/RREP/RERR) in bytes — far
+/// smaller than data payloads, so they occupy proportionally less
+/// airtime.
+pub const CONTROL_BYTES: usize = 48;
+
+/// Extra routing header bytes added to routed data payloads.
+pub const DATA_HEADER_BYTES: usize = 16;
+
+/// What travels in data frames when AODV is in the stack: either a routing
+/// control packet, a routed data packet, or raw link-local application
+/// traffic that bypasses routing entirely (random walks, floods).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutePacket<P> {
+    /// Route request (flooded with expanding-ring TTL).
+    Rreq {
+        /// Per-originator request id (for duplicate suppression).
+        id: u64,
+        /// The node searching for a route.
+        origin: NodeId,
+        /// Originator's sequence number.
+        origin_seq: u32,
+        /// Hops travelled so far.
+        hops: u8,
+        /// Remaining time-to-live.
+        ttl: u8,
+        /// The destination being sought.
+        dst: NodeId,
+        /// Last destination sequence number known to the originator.
+        dst_seq: Option<u32>,
+    },
+    /// Route reply (unicast back along the reverse path).
+    Rrep {
+        /// The destination the route leads to.
+        target: NodeId,
+        /// The originator of the RREQ this answers.
+        origin: NodeId,
+        /// Hops from the replier to `target`.
+        hops: u8,
+        /// Destination sequence number.
+        dst_seq: u32,
+    },
+    /// Route error: the listed destinations became unreachable.
+    Rerr {
+        /// `(destination, bumped sequence number)` pairs.
+        broken: Vec<(NodeId, u32)>,
+        /// Remaining propagation scope.
+        ttl: u8,
+    },
+    /// A routed application payload.
+    Data {
+        /// Originator.
+        src: NodeId,
+        /// Final destination.
+        dst: NodeId,
+        /// Per-originator packet id (diagnostics / transit bookkeeping).
+        id: u64,
+        /// Remaining time-to-live (loop protection).
+        ttl: u8,
+        /// The payload.
+        payload: P,
+    },
+    /// Link-local application traffic; the router passes it through
+    /// untouched as [`RouterEvent::OneHop`].
+    OneHop(P),
+}
+
+/// AODV parameters.
+///
+/// The default `ttl_start` equals `net_ttl`, i.e. expanding-ring search
+/// is off: quorum targets are uniformly random (typically far away), so
+/// small rings almost never succeed and only add flood traffic and
+/// latency. Set `ttl_start` low to re-enable the classic ring search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Initial expanding-ring TTL.
+    pub ttl_start: u8,
+    /// Ring growth per failed attempt.
+    pub ttl_increment: u8,
+    /// Above this TTL, jump straight to `net_ttl`.
+    pub ttl_threshold: u8,
+    /// Network-wide TTL (and data-packet TTL).
+    pub net_ttl: u8,
+    /// Extra full-TTL discovery attempts after the ring search.
+    pub rreq_retries: u32,
+    /// Per-hop traversal-time estimate used to size discovery timeouts.
+    pub node_traversal: SimDuration,
+    /// Lifetime of installed routes; reuse extends it (the paper
+    /// amortises discovery cost over consecutive quorum accesses, §8.1).
+    pub route_lifetime: SimDuration,
+    /// Propagation scope of RERR rebroadcasts.
+    pub rerr_ttl: u8,
+    /// Allow intermediate nodes with fresh routes to answer RREQs. With
+    /// long route lifetimes and network-wide floods this causes RREP
+    /// storms (hundreds of replies per discovery), so the default is the
+    /// AODV 'D' (destination-only) behaviour.
+    pub intermediate_replies: bool,
+    /// When `true`, data packets transiting an intermediate node are
+    /// surfaced as [`RouterEvent::Transit`] and forwarded only when the
+    /// stack calls [`Router::forward_transit`] — the cross-layer tap of
+    /// the RANDOM-OPT strategy (§4.5). When `false`, packets are
+    /// forwarded immediately and no transit events are emitted.
+    pub transit_tap: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            ttl_start: 35,
+            ttl_increment: 2,
+            ttl_threshold: 7,
+            net_ttl: 35,
+            rreq_retries: 2,
+            node_traversal: SimDuration::from_millis(60),
+            route_lifetime: SimDuration::from_secs(60),
+            rerr_ttl: 1,
+            intermediate_replies: false,
+            transit_tap: false,
+        }
+    }
+}
+
+/// Routing-layer statistics, split the way the paper reports them:
+/// `data_tx` is the "number of messages" (network-layer hops of
+/// application data), the control counters are the "additional routing
+/// overhead" (§8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingStats {
+    /// RREQ transmissions (every hop of every flood).
+    pub rreq_tx: u64,
+    /// RREP transmissions.
+    pub rrep_tx: u64,
+    /// RERR transmissions.
+    pub rerr_tx: u64,
+    /// Data-packet hop transmissions.
+    pub data_tx: u64,
+    /// Data packets delivered to their destination.
+    pub data_delivered: u64,
+    /// Data packets dropped (no route / TTL exhausted / link break).
+    pub data_dropped: u64,
+    /// Route discoveries started.
+    pub discoveries: u64,
+    /// Route discoveries that gave up.
+    pub discovery_failures: u64,
+}
+
+impl RoutingStats {
+    /// Total control-message transmissions (the paper's "additional
+    /// routing overhead").
+    pub fn control_tx(&self) -> u64 {
+        self.rreq_tx + self.rrep_tx + self.rerr_tx
+    }
+}
+
+/// Events the router hands to the layer above.
+#[derive(Debug, Clone)]
+pub enum RouterEvent<P> {
+    /// A routed payload reached its destination.
+    Delivered {
+        /// The destination node.
+        node: NodeId,
+        /// The originator.
+        src: NodeId,
+        /// The payload.
+        payload: P,
+    },
+    /// A data packet is transiting `node` (only with
+    /// [`RouterConfig::transit_tap`]); the stack must call
+    /// [`Router::forward_transit`] or [`Router::consume_transit`].
+    Transit {
+        /// The forwarding node.
+        node: NodeId,
+        /// The packet originator.
+        src: NodeId,
+        /// The final destination.
+        dst: NodeId,
+        /// Handle for forward/consume.
+        handle: TransitHandle,
+        /// The payload (clone; the router retains the packet).
+        payload: P,
+    },
+    /// Outcome of a [`Router::send_data`] call: `ok = true` once the
+    /// packet left the originator toward an established route; `false`
+    /// if discovery failed or the first hop broke.
+    SendDone {
+        /// The originating node.
+        node: NodeId,
+        /// The application token.
+        token: u64,
+        /// Success flag.
+        ok: bool,
+    },
+    /// The route from `node` to `dst` broke (link failure or RERR).
+    RouteBroken {
+        /// Node whose table lost the route.
+        node: NodeId,
+        /// Unreachable destination.
+        dst: NodeId,
+    },
+    /// Link-local application traffic (bypassed routing).
+    OneHop {
+        /// Receiving node.
+        node: NodeId,
+        /// One-hop sender.
+        from: NodeId,
+        /// The payload.
+        payload: P,
+        /// `true` if overheard in promiscuous mode.
+        overheard: bool,
+    },
+    /// A link-level send-result for an application token (no
+    /// [`ROUTER_TOKEN_BIT`]).
+    AppSendResult {
+        /// The sending node.
+        node: NodeId,
+        /// The application's link token.
+        token: u64,
+        /// Success flag.
+        ok: bool,
+    },
+    /// An application timer fired (no [`ROUTER_TOKEN_BIT`]).
+    AppTimer {
+        /// The node.
+        node: NodeId,
+        /// The application's timer token.
+        token: u64,
+    },
+    /// Substrate churn notification, passed through after the router
+    /// reset the node's routing state.
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+    },
+    /// Substrate churn notification.
+    NodeJoined {
+        /// The joined node.
+        node: NodeId,
+    },
+}
+
+/// Opaque handle to a tapped transit packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransitHandle(u64);
+
+#[derive(Debug)]
+struct Discovery<P> {
+    buffered: Vec<(P, u64)>,
+    ttl: u8,
+    full_attempts: u32,
+    max_ttl: Option<u8>,
+    timer: EventId,
+}
+
+#[derive(Debug, Default)]
+struct NodeRouting {
+    table: RouteTable,
+    seq: u32,
+    next_rreq_id: u64,
+    next_data_id: u64,
+    seen_rreqs: HashSet<(NodeId, u64)>,
+}
+
+enum TokenCtx {
+    FirstHop {
+        node: NodeId,
+        app_token: u64,
+        dst: NodeId,
+        next_hop: NodeId,
+    },
+    Forward {
+        node: NodeId,
+        next_hop: NodeId,
+    },
+    Control,
+}
+
+enum TimerCtx {
+    DiscoveryTimeout { node: NodeId, dst: NodeId },
+}
+
+/// The AODV router for all nodes of one simulated network.
+///
+/// See the crate-level docs for the composition pattern; the integration
+/// tests and `pqs-core` show complete stacks.
+pub struct Router<P> {
+    cfg: RouterConfig,
+    nodes: Vec<NodeRouting>,
+    pending: HashMap<(NodeId, NodeId), Discovery<P>>,
+    tokens: HashMap<u64, TokenCtx>,
+    timers: HashMap<u64, TimerCtx>,
+    transits: HashMap<u64, (NodeId, RoutePacket<P>)>,
+    next_token: u64,
+    stats: RoutingStats,
+}
+
+impl<P: Clone> Router<P> {
+    /// Creates a router for `n` nodes.
+    pub fn new(n: usize, cfg: RouterConfig) -> Self {
+        Router {
+            cfg,
+            nodes: (0..n).map(|_| NodeRouting::default()).collect(),
+            pending: HashMap::new(),
+            tokens: HashMap::new(),
+            timers: HashMap::new(),
+            transits: HashMap::new(),
+            next_token: 1,
+            stats: RoutingStats::default(),
+        }
+    }
+
+    /// Routing statistics.
+    pub fn stats(&self) -> &RoutingStats {
+        &self.stats
+    }
+
+    /// Returns `true` if `node` currently has a usable route to `dst`.
+    pub fn has_route(&self, node: NodeId, dst: NodeId, now: SimTime) -> bool {
+        self.nodes[node.index()].table.lookup(dst, now).is_some()
+    }
+
+    /// Grows per-node state to cover nodes added with
+    /// [`Network::add_node`].
+    pub fn ensure_node(&mut self, node: NodeId) {
+        while self.nodes.len() <= node.index() {
+            self.nodes.push(NodeRouting::default());
+        }
+    }
+
+    fn fresh_token(&mut self, ctx: TokenCtx) -> u64 {
+        let token = ROUTER_TOKEN_BIT | self.next_token;
+        self.next_token += 1;
+        self.tokens.insert(token, ctx);
+        token
+    }
+
+    fn fresh_timer_token(&mut self, ctx: TimerCtx) -> u64 {
+        let token = ROUTER_TOKEN_BIT | self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, ctx);
+        token
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Sends `payload` from `node` to `dst` through AODV. `app_token`
+    /// comes back in [`RouterEvent::SendDone`]. `max_ttl` restricts both
+    /// discovery and travel scope (the paper's TTL-3 local repair);
+    /// `None` means network-wide.
+    ///
+    /// Returns immediately-produced events (e.g. self-delivery).
+    pub fn send_data(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        node: NodeId,
+        dst: NodeId,
+        payload: P,
+        app_token: u64,
+        max_ttl: Option<u8>,
+    ) -> Vec<RouterEvent<P>> {
+        if node == dst {
+            self.stats.data_delivered += 1;
+            return vec![
+                RouterEvent::Delivered {
+                    node,
+                    src: node,
+                    payload,
+                },
+                RouterEvent::SendDone {
+                    node,
+                    token: app_token,
+                    ok: true,
+                },
+            ];
+        }
+        let now = net.now();
+        let route = self.nodes[node.index()].table.lookup(dst, now).copied();
+        match route {
+            Some(route) => {
+                self.transmit_data(net, node, dst, payload, Some(app_token), route.next_hop, max_ttl);
+                Vec::new()
+            }
+            None => {
+                self.buffer_and_discover(net, node, dst, payload, app_token, max_ttl);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Sends raw link-local application traffic (one hop, no routing).
+    /// `link_token` must not have [`ROUTER_TOKEN_BIT`] set; the MAC
+    /// outcome returns as [`RouterEvent::AppSendResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_token` has [`ROUTER_TOKEN_BIT`] set.
+    pub fn send_one_hop(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        node: NodeId,
+        dst: MacDst,
+        payload: P,
+        link_token: u64,
+        wire_bytes: usize,
+    ) -> bool {
+        assert_eq!(
+            link_token & ROUTER_TOKEN_BIT,
+            0,
+            "application tokens must not use the router token bit"
+        );
+        net.send_sized(node, dst, RoutePacket::OneHop(payload), link_token, wire_bytes)
+    }
+
+    fn transmit_data(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        node: NodeId,
+        dst: NodeId,
+        payload: P,
+        app_token: Option<u64>,
+        next_hop: NodeId,
+        max_ttl: Option<u8>,
+    ) {
+        let id = {
+            let s = &mut self.nodes[node.index()];
+            s.next_data_id += 1;
+            s.next_data_id
+        };
+        let ttl = max_ttl.unwrap_or(self.cfg.net_ttl);
+        let token = match app_token {
+            Some(app_token) => self.fresh_token(TokenCtx::FirstHop {
+                node,
+                app_token,
+                dst,
+                next_hop,
+            }),
+            None => self.fresh_token(TokenCtx::Forward { node, next_hop }),
+        };
+        self.stats.data_tx += 1;
+        let expiry = net.now() + self.cfg.route_lifetime;
+        self.nodes[node.index()].table.refresh(dst, expiry);
+        let bytes = net.config().payload_bytes + DATA_HEADER_BYTES;
+        net.send_sized(
+            node,
+            MacDst::Unicast(next_hop),
+            RoutePacket::Data {
+                src: node,
+                dst,
+                id,
+                ttl,
+                payload,
+            },
+            token,
+            bytes,
+        );
+    }
+
+    fn buffer_and_discover(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        node: NodeId,
+        dst: NodeId,
+        payload: P,
+        app_token: u64,
+        max_ttl: Option<u8>,
+    ) {
+        if let Some(d) = self.pending.get_mut(&(node, dst)) {
+            d.buffered.push((payload, app_token));
+            return;
+        }
+        // Scoped searches make a single attempt at exactly max_ttl.
+        let ttl = match max_ttl {
+            Some(cap) => cap,
+            None => self.cfg.ttl_start,
+        };
+        let timer = self.schedule_discovery_timeout(net, node, dst, ttl);
+        self.pending.insert(
+            (node, dst),
+            Discovery {
+                buffered: vec![(payload, app_token)],
+                ttl,
+                full_attempts: 0,
+                max_ttl,
+                timer,
+            },
+        );
+        self.stats.discoveries += 1;
+        self.broadcast_rreq(net, node, dst, ttl);
+    }
+
+    fn schedule_discovery_timeout(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        node: NodeId,
+        dst: NodeId,
+        ttl: u8,
+    ) -> EventId {
+        let wait = self.cfg.node_traversal * (2 * u64::from(ttl)) + SimDuration::from_millis(100);
+        let token = self.fresh_timer_token(TimerCtx::DiscoveryTimeout { node, dst });
+        net.set_timer(node, wait, token)
+    }
+
+    fn broadcast_rreq(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        node: NodeId,
+        dst: NodeId,
+        ttl: u8,
+    ) {
+        let (id, origin_seq, dst_seq) = {
+            let s = &mut self.nodes[node.index()];
+            s.seq = s.seq.wrapping_add(1);
+            s.next_rreq_id += 1;
+            let id = s.next_rreq_id;
+            s.seen_rreqs.insert((node, id));
+            (id, s.seq, s.table.entry(dst).map(|r| r.dst_seq))
+        };
+        self.stats.rreq_tx += 1;
+        let token = self.fresh_token(TokenCtx::Control);
+        net.send_sized(
+            node,
+            MacDst::Broadcast,
+            RoutePacket::Rreq {
+                id,
+                origin: node,
+                origin_seq,
+                hops: 0,
+                ttl,
+                dst,
+                dst_seq,
+            },
+            token,
+            CONTROL_BYTES,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Transit tap
+    // ------------------------------------------------------------------
+
+    /// Forwards a tapped transit packet onward (see
+    /// [`RouterEvent::Transit`]).
+    pub fn forward_transit(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        handle: TransitHandle,
+    ) -> Vec<RouterEvent<P>> {
+        match self.transits.remove(&handle.0) {
+            Some((node, packet)) => self.forward_data(net, node, packet),
+            None => Vec::new(),
+        }
+    }
+
+    /// Consumes a tapped transit packet: it is not forwarded further
+    /// (RANDOM-OPT answering a lookup midway, §4.5).
+    pub fn consume_transit(&mut self, handle: TransitHandle) {
+        self.transits.remove(&handle.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Upcall processing
+    // ------------------------------------------------------------------
+
+    /// Processes one substrate upcall, returning events for the layer
+    /// above. This is the single entry point a stack needs.
+    pub fn on_upcall(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        upcall: Upcall<RoutePacket<P>>,
+    ) -> Vec<RouterEvent<P>> {
+        match upcall {
+            Upcall::Frame {
+                at,
+                from,
+                payload,
+                overheard,
+                ..
+            } => self.on_frame(net, at, from, payload, overheard),
+            Upcall::SendResult { node, token, ok } => {
+                if token & ROUTER_TOKEN_BIT != 0 {
+                    self.on_send_result(net, token, ok)
+                } else {
+                    vec![RouterEvent::AppSendResult { node, token, ok }]
+                }
+            }
+            Upcall::Timer { node, token } => {
+                if token & ROUTER_TOKEN_BIT != 0 {
+                    self.on_timer(net, token)
+                } else {
+                    vec![RouterEvent::AppTimer { node, token }]
+                }
+            }
+            Upcall::NodeFailed { node } => {
+                self.reset_node(node);
+                vec![RouterEvent::NodeFailed { node }]
+            }
+            Upcall::NodeJoined { node } => {
+                self.ensure_node(node);
+                self.reset_node(node);
+                vec![RouterEvent::NodeJoined { node }]
+            }
+        }
+    }
+
+    fn reset_node(&mut self, node: NodeId) {
+        if let Some(s) = self.nodes.get_mut(node.index()) {
+            *s = NodeRouting::default();
+        }
+        self.pending.retain(|&(n, _), _| n != node);
+        self.transits.retain(|_, (n, _)| *n != node);
+    }
+
+    fn on_frame(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        at: NodeId,
+        from: NodeId,
+        packet: RoutePacket<P>,
+        overheard: bool,
+    ) -> Vec<RouterEvent<P>> {
+        if overheard {
+            // Only link-local application traffic is interesting to
+            // overhear (the §7.2 optimisation); routing control is not.
+            return match packet {
+                RoutePacket::OneHop(p) => vec![RouterEvent::OneHop {
+                    node: at,
+                    from,
+                    payload: p,
+                    overheard: true,
+                }],
+                RoutePacket::Data { src, dst, payload, .. } if dst != at => {
+                    // Overhearing routed data also surfaces the payload.
+                    vec![RouterEvent::OneHop {
+                        node: at,
+                        from: src,
+                        payload,
+                        overheard: true,
+                    }]
+                    .into_iter()
+                    .filter(|_| dst != at)
+                    .collect()
+                }
+                _ => Vec::new(),
+            };
+        }
+        match packet {
+            RoutePacket::OneHop(p) => vec![RouterEvent::OneHop {
+                node: at,
+                from,
+                payload: p,
+                overheard: false,
+            }],
+            RoutePacket::Rreq {
+                id,
+                origin,
+                origin_seq,
+                hops,
+                ttl,
+                dst,
+                dst_seq,
+            } => self.on_rreq(net, at, from, id, origin, origin_seq, hops, ttl, dst, dst_seq),
+            RoutePacket::Rrep {
+                target,
+                origin,
+                hops,
+                dst_seq,
+            } => self.on_rrep(net, at, from, target, origin, hops, dst_seq),
+            RoutePacket::Rerr { broken, ttl } => self.on_rerr(net, at, from, broken, ttl),
+            data @ RoutePacket::Data { .. } => self.on_data(net, at, data),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_rreq(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        at: NodeId,
+        from: NodeId,
+        id: u64,
+        origin: NodeId,
+        origin_seq: u32,
+        hops: u8,
+        ttl: u8,
+        dst: NodeId,
+        dst_seq: Option<u32>,
+    ) -> Vec<RouterEvent<P>> {
+        let now = net.now();
+        let lifetime = now + self.cfg.route_lifetime;
+        {
+            let s = &mut self.nodes[at.index()];
+            if origin == at || !s.seen_rreqs.insert((origin, id)) {
+                return Vec::new();
+            }
+            // Reverse route toward the originator.
+            s.table
+                .update(origin, from, hops + 1, origin_seq, lifetime, now);
+        }
+        if at == dst {
+            // I am the destination: reply with my own sequence number.
+            let s = &mut self.nodes[at.index()];
+            if let Some(wanted) = dst_seq {
+                if (wanted.wrapping_sub(s.seq) as i32) > 0 {
+                    s.seq = wanted;
+                }
+            }
+            let my_seq = s.seq;
+            self.send_rrep(net, at, from, dst, origin, 0, my_seq);
+            return Vec::new();
+        }
+        // Intermediate reply if I know a fresh-enough route (disabled by
+        // default; see `RouterConfig::intermediate_replies`).
+        if self.cfg.intermediate_replies {
+            let fresh = self.nodes[at.index()].table.lookup(dst, now).copied();
+            if let Some(route) = fresh {
+                let fresh_enough =
+                    dst_seq.is_none_or(|w| (route.dst_seq.wrapping_sub(w) as i32) >= 0);
+                if fresh_enough {
+                    self.send_rrep(net, at, from, dst, origin, route.hops, route.dst_seq);
+                    return Vec::new();
+                }
+            }
+        }
+        if ttl > 1 {
+            self.stats.rreq_tx += 1;
+            let token = self.fresh_token(TokenCtx::Control);
+            net.send_sized(
+                at,
+                MacDst::Broadcast,
+                RoutePacket::Rreq {
+                    id,
+                    origin,
+                    origin_seq,
+                    hops: hops + 1,
+                    ttl: ttl - 1,
+                    dst,
+                    dst_seq,
+                },
+                token,
+                CONTROL_BYTES,
+            );
+        }
+        Vec::new()
+    }
+
+    fn send_rrep(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        at: NodeId,
+        via: NodeId,
+        target: NodeId,
+        origin: NodeId,
+        hops: u8,
+        dst_seq: u32,
+    ) {
+        self.stats.rrep_tx += 1;
+        let token = self.fresh_token(TokenCtx::Control);
+        net.send_sized(
+            at,
+            MacDst::Unicast(via),
+            RoutePacket::Rrep {
+                target,
+                origin,
+                hops,
+                dst_seq,
+            },
+            token,
+            CONTROL_BYTES,
+        );
+    }
+
+    fn on_rrep(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        at: NodeId,
+        from: NodeId,
+        target: NodeId,
+        origin: NodeId,
+        hops: u8,
+        dst_seq: u32,
+    ) -> Vec<RouterEvent<P>> {
+        let now = net.now();
+        let lifetime = now + self.cfg.route_lifetime;
+        self.nodes[at.index()]
+            .table
+            .update(target, from, hops + 1, dst_seq, lifetime, now);
+        if at == origin {
+            // Discovery complete: flush buffered payloads.
+            if let Some(d) = self.pending.remove(&(at, target)) {
+                net.cancel_timer(d.timer);
+                if let Some(route) = self.nodes[at.index()].table.lookup(target, now).copied() {
+                    for (payload, app_token) in d.buffered {
+                        self.transmit_data(
+                            net,
+                            at,
+                            target,
+                            payload,
+                            Some(app_token),
+                            route.next_hop,
+                            d.max_ttl,
+                        );
+                    }
+                }
+            }
+            return Vec::new();
+        }
+        // Forward toward the originator along the reverse route.
+        if let Some(route) = self.nodes[at.index()].table.lookup(origin, now).copied() {
+            self.send_rrep(net, at, route.next_hop, target, origin, hops + 1, dst_seq);
+        }
+        Vec::new()
+    }
+
+    fn on_rerr(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        at: NodeId,
+        from: NodeId,
+        broken: Vec<(NodeId, u32)>,
+        ttl: u8,
+    ) -> Vec<RouterEvent<P>> {
+        let mut events = Vec::new();
+        let mut my_broken = Vec::new();
+        for (dst, seq) in broken {
+            let s = &mut self.nodes[at.index()];
+            let uses_from = s
+                .table
+                .entry(dst)
+                .is_some_and(|r| r.valid && r.next_hop == from);
+            if uses_from {
+                s.table.invalidate(dst);
+                my_broken.push((dst, seq));
+                events.push(RouterEvent::RouteBroken { node: at, dst });
+            }
+        }
+        if !my_broken.is_empty() && ttl > 1 {
+            self.broadcast_rerr(net, at, my_broken, ttl - 1);
+        }
+        events
+    }
+
+    fn broadcast_rerr(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        at: NodeId,
+        broken: Vec<(NodeId, u32)>,
+        ttl: u8,
+    ) {
+        self.stats.rerr_tx += 1;
+        let token = self.fresh_token(TokenCtx::Control);
+        net.send_sized(
+            at,
+            MacDst::Broadcast,
+            RoutePacket::Rerr { broken, ttl },
+            token,
+            CONTROL_BYTES,
+        );
+    }
+
+    fn on_data(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        at: NodeId,
+        packet: RoutePacket<P>,
+    ) -> Vec<RouterEvent<P>> {
+        let RoutePacket::Data {
+            src, dst, payload, ..
+        } = &packet
+        else {
+            unreachable!("on_data called with non-data packet")
+        };
+        if *dst == at {
+            self.stats.data_delivered += 1;
+            return vec![RouterEvent::Delivered {
+                node: at,
+                src: *src,
+                payload: payload.clone(),
+            }];
+        }
+        if self.cfg.transit_tap {
+            let handle = TransitHandle(self.next_token);
+            self.next_token += 1;
+            let event = RouterEvent::Transit {
+                node: at,
+                src: *src,
+                dst: *dst,
+                handle,
+                payload: payload.clone(),
+            };
+            self.transits.insert(handle.0, (at, packet));
+            vec![event]
+        } else {
+            self.forward_data(net, at, packet)
+        }
+    }
+
+    fn forward_data(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        at: NodeId,
+        packet: RoutePacket<P>,
+    ) -> Vec<RouterEvent<P>> {
+        let RoutePacket::Data {
+            src,
+            dst,
+            id,
+            ttl,
+            payload,
+        } = packet
+        else {
+            unreachable!("forward_data called with non-data packet")
+        };
+        if ttl <= 1 {
+            self.stats.data_dropped += 1;
+            return Vec::new();
+        }
+        let now = net.now();
+        match self.nodes[at.index()].table.lookup(dst, now).copied() {
+            Some(route) => {
+                self.stats.data_tx += 1;
+                let token = self.fresh_token(TokenCtx::Forward {
+                    node: at,
+                    next_hop: route.next_hop,
+                });
+                let expiry = now + self.cfg.route_lifetime;
+                self.nodes[at.index()].table.refresh(dst, expiry);
+                let bytes = net.config().payload_bytes + DATA_HEADER_BYTES;
+                net.send_sized(
+                    at,
+                    MacDst::Unicast(route.next_hop),
+                    RoutePacket::Data {
+                        src,
+                        dst,
+                        id,
+                        ttl: ttl - 1,
+                        payload,
+                    },
+                    token,
+                    bytes,
+                );
+                Vec::new()
+            }
+            None => {
+                // No route: drop and advertise the break.
+                self.stats.data_dropped += 1;
+                let seq = self.nodes[at.index()]
+                    .table
+                    .entry(dst)
+                    .map(|r| r.dst_seq)
+                    .unwrap_or(0);
+                self.broadcast_rerr(net, at, vec![(dst, seq)], self.cfg.rerr_ttl);
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_send_result(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        token: u64,
+        ok: bool,
+    ) -> Vec<RouterEvent<P>> {
+        let Some(ctx) = self.tokens.remove(&token) else {
+            return Vec::new();
+        };
+        match ctx {
+            TokenCtx::Control => Vec::new(),
+            TokenCtx::FirstHop {
+                node,
+                app_token,
+                dst,
+                next_hop,
+            } => {
+                if ok {
+                    vec![RouterEvent::SendDone {
+                        node,
+                        token: app_token,
+                        ok: true,
+                    }]
+                } else {
+                    let mut events = self.handle_link_break(net, node, next_hop);
+                    events.push(RouterEvent::SendDone {
+                        node,
+                        token: app_token,
+                        ok: false,
+                    });
+                    let _ = dst;
+                    events
+                }
+            }
+            TokenCtx::Forward { node, next_hop } => {
+                if ok {
+                    Vec::new()
+                } else {
+                    self.stats.data_dropped += 1;
+                    self.handle_link_break(net, node, next_hop)
+                }
+            }
+        }
+    }
+
+    fn handle_link_break(
+        &mut self,
+        net: &mut Network<RoutePacket<P>>,
+        node: NodeId,
+        next_hop: NodeId,
+    ) -> Vec<RouterEvent<P>> {
+        let broken = self.nodes[node.index()].table.invalidate_via(next_hop);
+        let events: Vec<RouterEvent<P>> = broken
+            .iter()
+            .map(|&(dst, _)| RouterEvent::RouteBroken { node, dst })
+            .collect();
+        if !broken.is_empty() {
+            self.broadcast_rerr(net, node, broken, self.cfg.rerr_ttl);
+        }
+        events
+    }
+
+    fn on_timer(&mut self, net: &mut Network<RoutePacket<P>>, token: u64) -> Vec<RouterEvent<P>> {
+        let Some(TimerCtx::DiscoveryTimeout { node, dst }) = self.timers.remove(&token) else {
+            return Vec::new();
+        };
+        let now = net.now();
+        // A route may have appeared via unrelated traffic.
+        if let Some(route) = self.nodes[node.index()].table.lookup(dst, now).copied() {
+            if let Some(d) = self.pending.remove(&(node, dst)) {
+                for (payload, app_token) in d.buffered {
+                    self.transmit_data(net, node, dst, payload, Some(app_token), route.next_hop, d.max_ttl);
+                }
+            }
+            return Vec::new();
+        }
+        let Some(mut d) = self.pending.remove(&(node, dst)) else {
+            return Vec::new();
+        };
+        // Scoped searches fail after their single attempt.
+        let give_up = if d.max_ttl.is_some() {
+            true
+        } else if d.ttl < self.cfg.net_ttl {
+            // Grow the ring.
+            d.ttl = if d.ttl >= self.cfg.ttl_threshold {
+                self.cfg.net_ttl
+            } else {
+                (d.ttl + self.cfg.ttl_increment).min(self.cfg.net_ttl)
+            };
+            false
+        } else {
+            d.full_attempts += 1;
+            d.full_attempts > self.cfg.rreq_retries
+        };
+        if give_up {
+            self.stats.discovery_failures += 1;
+            return d
+                .buffered
+                .into_iter()
+                .map(|(_, app_token)| RouterEvent::SendDone {
+                    node,
+                    token: app_token,
+                    ok: false,
+                })
+                .collect();
+        }
+        let ttl = d.ttl;
+        d.timer = self.schedule_discovery_timeout(net, node, dst, ttl);
+        self.pending.insert((node, dst), d);
+        self.broadcast_rreq(net, node, dst, ttl);
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_bit_partition() {
+        let mut r: Router<u8> = Router::new(2, RouterConfig::default());
+        let t1 = r.fresh_token(TokenCtx::Control);
+        let t2 = r.fresh_token(TokenCtx::Control);
+        assert_ne!(t1, t2);
+        assert!(t1 & ROUTER_TOKEN_BIT != 0);
+    }
+
+    #[test]
+    fn stats_control_sum() {
+        let s = RoutingStats {
+            rreq_tx: 3,
+            rrep_tx: 2,
+            rerr_tx: 1,
+            ..RoutingStats::default()
+        };
+        assert_eq!(s.control_tx(), 6);
+    }
+
+    #[test]
+    fn ensure_node_grows() {
+        let mut r: Router<u8> = Router::new(2, RouterConfig::default());
+        r.ensure_node(NodeId(10));
+        assert!(r.nodes.len() == 11);
+        assert!(!r.has_route(NodeId(10), NodeId(0), SimTime::ZERO));
+    }
+}

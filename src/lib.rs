@@ -1,0 +1,17 @@
+//! # pqs — probabilistic quorum systems for wireless ad hoc networks
+//!
+//! Facade crate re-exporting the whole workspace. See the individual crates
+//! for details:
+//!
+//! - [`sim`]: deterministic discrete-event engine,
+//! - [`graph`]: random geometric graphs and random walks,
+//! - [`net`]: the wireless substrate (PHY, MAC, mobility, neighbours),
+//! - [`routing`]: AODV multi-hop routing,
+//! - [`core`]: the paper's contribution — probabilistic biquorum systems,
+//!   access strategies, and the quorum-backed location service.
+
+pub use pqs_core as core;
+pub use pqs_graph as graph;
+pub use pqs_net as net;
+pub use pqs_routing as routing;
+pub use pqs_sim as sim;
