@@ -56,7 +56,13 @@ fn bench_walks(c: &mut Criterion) {
 
 fn bench_quorum_math(c: &mut Criterion) {
     c.bench_function("spec/intersection_bound", |b| {
-        b.iter(|| black_box(spec::intersection_lower_bound(black_box(57), black_box(33), 800)));
+        b.iter(|| {
+            black_box(spec::intersection_lower_bound(
+                black_box(57),
+                black_box(33),
+                800,
+            ))
+        });
     });
     c.bench_function("spec/asymmetric_sizing", |b| {
         b.iter(|| {

@@ -8,7 +8,12 @@ use pqs_core::spec::{AccessStrategy, BiquorumSpec, QuorumSpec};
 use pqs_core::workload::WorkloadConfig;
 use std::hint::black_box;
 
-fn scenario(adv: AccessStrategy, adv_size: u32, lkp: AccessStrategy, lkp_size: u32) -> ScenarioConfig {
+fn scenario(
+    adv: AccessStrategy,
+    adv_size: u32,
+    lkp: AccessStrategy,
+    lkp_size: u32,
+) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::paper(60);
     cfg.workload = WorkloadConfig::small(5, 15);
     cfg.service.spec = BiquorumSpec::new(
@@ -20,10 +25,27 @@ fn scenario(adv: AccessStrategy, adv_size: u32, lkp: AccessStrategy, lkp_size: u
 
 fn bench_scenarios(c: &mut Criterion) {
     let mixes = [
-        ("random_x_unique_path", scenario(AccessStrategy::Random, 16, AccessStrategy::UniquePath, 9)),
-        ("random_x_random", scenario(AccessStrategy::Random, 16, AccessStrategy::Random, 9)),
-        ("random_x_flooding", scenario(AccessStrategy::Random, 16, AccessStrategy::Flooding, 3)),
-        ("unique_x_unique", scenario(AccessStrategy::UniquePath, 15, AccessStrategy::UniquePath, 15)),
+        (
+            "random_x_unique_path",
+            scenario(AccessStrategy::Random, 16, AccessStrategy::UniquePath, 9),
+        ),
+        (
+            "random_x_random",
+            scenario(AccessStrategy::Random, 16, AccessStrategy::Random, 9),
+        ),
+        (
+            "random_x_flooding",
+            scenario(AccessStrategy::Random, 16, AccessStrategy::Flooding, 3),
+        ),
+        (
+            "unique_x_unique",
+            scenario(
+                AccessStrategy::UniquePath,
+                15,
+                AccessStrategy::UniquePath,
+                15,
+            ),
+        ),
     ];
     let mut group = c.benchmark_group("scenario_60_nodes");
     group.sample_size(10);

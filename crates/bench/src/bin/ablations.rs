@@ -20,7 +20,13 @@ fn main() {
     let the_seeds = seeds(3);
     header(
         &format!("ablations, RANDOM x UNIQUE-PATH, n = {n}, 10 m/s mobility"),
-        &["variant", "hit ratio", "intersection", "msgs/lkp", "+rt/lkp"],
+        &[
+            "variant",
+            "hit ratio",
+            "intersection",
+            "msgs/lkp",
+            "+rt/lkp",
+        ],
     );
 
     let variants: Vec<(&str, ScenarioConfig)> = vec![

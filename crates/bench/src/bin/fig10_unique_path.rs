@@ -14,7 +14,15 @@ fn main() {
 
     header(
         "Fig. 10(a,b): UNIQUE-PATH lookup hit ratio vs |Ql| (mobile 0.5-2 m/s)",
-        &["n \\ |Ql|", "0.5√n", "0.75√n", "1.0√n", "1.15√n", "1.5√n", "2.0√n"],
+        &[
+            "n \\ |Ql|",
+            "0.5√n",
+            "0.75√n",
+            "1.0√n",
+            "1.15√n",
+            "1.5√n",
+            "2.0√n",
+        ],
     );
     let mut msgs_rows = Vec::new();
     for n in network_sizes() {
@@ -36,7 +44,15 @@ fn main() {
 
     header(
         "Fig. 10(c,d): messages per lookup (walk steps + reply, no routing)",
-        &["n \\ |Ql|", "0.5√n", "0.75√n", "1.0√n", "1.15√n", "1.5√n", "2.0√n"],
+        &[
+            "n \\ |Ql|",
+            "0.5√n",
+            "0.75√n",
+            "1.0√n",
+            "1.15√n",
+            "1.5√n",
+            "2.0√n",
+        ],
     );
     for cells in msgs_rows {
         row(&cells);

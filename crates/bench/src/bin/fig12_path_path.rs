@@ -17,7 +17,13 @@ fn main() {
 
     header(
         &format!("Fig. 12: UNIQUE-PATH x UNIQUE-PATH, n = {n} (|Qa| = |Ql|)"),
-        &["combined |Q|", "each side", "hit ratio", "msgs/lookup", "msgs/advertise"],
+        &[
+            "combined |Q|",
+            "each side",
+            "hit ratio",
+            "msgs/lookup",
+            "msgs/advertise",
+        ],
     );
     let fractions = [16.0, 8.0, 4.7, 3.0, 2.0];
     for &frac in &fractions {
@@ -67,11 +73,7 @@ fn main() {
                 }
             }
         }
-        row(&[
-            format!("{r}"),
-            f(total / count.max(1.0)),
-            f(1.0 / (r * r)),
-        ]);
+        row(&[format!("{r}"), f(total / count.max(1.0)), f(1.0 / (r * r))]);
     }
     println!("\n(the measured column should grow at least as fast as r^-2)");
 }

@@ -12,7 +12,13 @@ fn main() {
     let the_seeds = seeds(2);
     header(
         &format!("Fig. 13: fast mobility, NO reply-path repair, n = {n}"),
-        &["max speed", "hit ratio", "intersection", "reply drop %", "salvations/lkp"],
+        &[
+            "max speed",
+            "hit ratio",
+            "intersection",
+            "reply drop %",
+            "salvations/lkp",
+        ],
     );
     for &speed in &[2.0, 5.0, 10.0, 20.0] {
         let mut cfg = ScenarioConfig::paper(n);

@@ -14,7 +14,14 @@ fn main() {
     let the_seeds = seeds(2);
     header(
         &format!("Fig. 14(a-d): fast mobility WITH local repair, n = {n}"),
-        &["max speed", "hit", "intersection", "msgs/lkp", "+routing/lkp", "repairs/lkp"],
+        &[
+            "max speed",
+            "hit",
+            "intersection",
+            "msgs/lkp",
+            "+routing/lkp",
+            "repairs/lkp",
+        ],
     );
     for &speed in &[2.0, 5.0, 10.0, 20.0] {
         let mut cfg = ScenarioConfig::paper(n);
@@ -61,8 +68,7 @@ fn main() {
         // A larger advertise quorum sends proportionally more routed
         // stores: widen the advertise window so the comparison is not
         // confounded by extra contention.
-        cfg.workload.advertise_window =
-            cfg.workload.advertise_window * (factor * 2.0) as u64 / 4;
+        cfg.workload.advertise_window = cfg.workload.advertise_window * (factor * 2.0) as u64 / 4;
         let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
         row(&[
             format!("{factor}√n = {qa}"),

@@ -14,11 +14,22 @@ fn main() {
     let mut base = ScenarioConfig::paper(n);
     base.net.avg_degree = 15.0;
     base.workload = bench_workload(30, 150, n);
-    let eps0 = 1.0 - base.service.spec.intersection_lower_bound(n).expect("RANDOM side");
+    let eps0 = 1.0
+        - base
+            .service
+            .spec
+            .intersection_lower_bound(n)
+            .expect("RANDOM side");
 
     header(
         &format!("Fig. 14(f): churn degradation, n = {n}, d = 15, eps0 = {eps0:.3}"),
-        &["churn f", "measured P(∩)", "measured hit", "analytic fail+join", "analytic fail-only"],
+        &[
+            "churn f",
+            "measured P(∩)",
+            "measured hit",
+            "analytic fail+join",
+            "analytic fail-only",
+        ],
     );
     for &fr in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
         let mut cfg = base.clone();
@@ -34,11 +45,17 @@ fn main() {
             f(fr),
             f(agg.intersection_ratio),
             f(agg.hit_ratio),
-            f(intersection_after_churn(eps0, fr, ChurnRegime::FailuresAndJoins)),
             f(intersection_after_churn(
                 eps0,
                 fr,
-                ChurnRegime::FailuresOnly { adjust_lookup: true },
+                ChurnRegime::FailuresAndJoins,
+            )),
+            f(intersection_after_churn(
+                eps0,
+                fr,
+                ChurnRegime::FailuresOnly {
+                    adjust_lookup: true,
+                },
             )),
         ]);
     }

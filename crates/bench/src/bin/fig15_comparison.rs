@@ -25,7 +25,13 @@ fn main() {
 
     header(
         &format!("Fig. 15: hit ratio vs msgs/lookup, RANDOM advertise, n = {n}"),
-        &["lookup strategy", "param", "msgs/lookup", "hit ratio", "+routing/lkp"],
+        &[
+            "lookup strategy",
+            "param",
+            "msgs/lookup",
+            "hit ratio",
+            "+routing/lkp",
+        ],
     );
     for (strategy, params) in sweeps {
         for &param in &params {

@@ -31,7 +31,10 @@ fn main() {
     );
     let mut by_n: Vec<(usize, Vec<f64>)> = Vec::new();
     for n in network_sizes() {
-        let cov: Vec<f64> = ttls.iter().map(|&t| coverage(n, 10.0, t, &the_seeds)).collect();
+        let cov: Vec<f64> = ttls
+            .iter()
+            .map(|&t| coverage(n, 10.0, t, &the_seeds))
+            .collect();
         row(&std::iter::once(n.to_string())
             .chain(cov.iter().map(|&c| f(c)))
             .collect::<Vec<_>>());
@@ -55,7 +58,10 @@ fn main() {
     );
     let mut by_d: Vec<(f64, Vec<f64>)> = Vec::new();
     for d in [7.0, 10.0, 15.0, 20.0, 25.0] {
-        let cov: Vec<f64> = ttls.iter().map(|&t| coverage(400, d, t, &the_seeds)).collect();
+        let cov: Vec<f64> = ttls
+            .iter()
+            .map(|&t| coverage(400, d, t, &the_seeds))
+            .collect();
         row(&std::iter::once(format!("{d}"))
             .chain(cov.iter().map(|&c| f(c)))
             .collect::<Vec<_>>());

@@ -6,10 +6,30 @@ use pqs_core::analysis::{intersection_after_churn, max_tolerable_churn, ChurnReg
 
 fn main() {
     let regimes: [(&str, ChurnRegime); 5] = [
-        ("failures, |Ql| const", ChurnRegime::FailuresOnly { adjust_lookup: false }),
-        ("failures, |Ql| adj", ChurnRegime::FailuresOnly { adjust_lookup: true }),
-        ("joins, |Ql| const", ChurnRegime::JoinsOnly { adjust_lookup: false }),
-        ("joins, |Ql| adj", ChurnRegime::JoinsOnly { adjust_lookup: true }),
+        (
+            "failures, |Ql| const",
+            ChurnRegime::FailuresOnly {
+                adjust_lookup: false,
+            },
+        ),
+        (
+            "failures, |Ql| adj",
+            ChurnRegime::FailuresOnly {
+                adjust_lookup: true,
+            },
+        ),
+        (
+            "joins, |Ql| const",
+            ChurnRegime::JoinsOnly {
+                adjust_lookup: false,
+            },
+        ),
+        (
+            "joins, |Ql| adj",
+            ChurnRegime::JoinsOnly {
+                adjust_lookup: true,
+            },
+        ),
         ("fail+join", ChurnRegime::FailuresAndJoins),
     ];
     for eps in [0.05, 0.1, 0.2] {

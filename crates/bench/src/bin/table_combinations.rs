@@ -17,7 +17,11 @@ fn main() {
                 c.lookup.to_string(),
                 f(c.advertise_cost),
                 f(c.lookup_cost),
-                if c.guaranteed { "yes".into() } else { "topology-dep".into() },
+                if c.guaranteed {
+                    "yes".into()
+                } else {
+                    "topology-dep".into()
+                },
             ]);
         }
     }
@@ -27,7 +31,12 @@ fn main() {
         &["tau", "Cost_a", "Cost_l", "ratio", "optimal |Ql|"],
     );
     // The paper's example: tau = 10, Cost_a = D = 5, Cost_l = 1 → 1/2.
-    for (tau, ca, cl) in [(10.0, 5.0, 1.0), (10.0, 18.0, 1.0), (2.5, 2.5, 1.0), (1.0, 18.0, 1.0)] {
+    for (tau, ca, cl) in [
+        (10.0, 5.0, 1.0),
+        (10.0, 18.0, 1.0),
+        (2.5, 2.5, 1.0),
+        (1.0, 18.0, 1.0),
+    ] {
         let n = 800;
         let ratio = optimal_quorum_ratio(tau, ca, cl);
         let ql = optimal_lookup_size(n, 0.1, tau, ca, cl);

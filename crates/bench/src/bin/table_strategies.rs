@@ -13,7 +13,13 @@ fn main() {
     use AccessStrategy::*;
     header(
         "Fig. 3: qualitative strategy properties",
-        &["strategy", "uniform?", "routing?", "membership?", "early halt?"],
+        &[
+            "strategy",
+            "uniform?",
+            "routing?",
+            "membership?",
+            "early halt?",
+        ],
     );
     for s in [Random, RandomOpt, Path, UniquePath, Flooding] {
         row(&[
@@ -27,7 +33,14 @@ fn main() {
 
     header(
         "Fig. 3: modelled access cost for |Q| = 2*sqrt(n) (messages)",
-        &["n", "RANDOM", "RANDOM-OPT", "PATH", "UNIQUE-PATH", "FLOODING"],
+        &[
+            "n",
+            "RANDOM",
+            "RANDOM-OPT",
+            "PATH",
+            "UNIQUE-PATH",
+            "FLOODING",
+        ],
     );
     for n in [50usize, 100, 200, 400, 800] {
         let q = (2.0 * (n as f64).sqrt()).round() as u32;
@@ -61,7 +74,13 @@ fn main() {
                 let mut wr = rng::stream(seed * 1000 + i as u64, 78);
                 if let (Some(s), Some(u)) = (
                     partial_cover_steps(net.graph(), start, target, WalkKind::Simple, &mut wr),
-                    partial_cover_steps(net.graph(), start, target, WalkKind::SelfAvoiding, &mut wr),
+                    partial_cover_steps(
+                        net.graph(),
+                        start,
+                        target,
+                        WalkKind::SelfAvoiding,
+                        &mut wr,
+                    ),
                 ) {
                     simple += s as f64 / target as f64;
                     unique += u as f64 / target as f64;

@@ -14,13 +14,7 @@ struct Combo {
     lookup: QuorumSpec,
 }
 
-fn run(
-    combo: &Combo,
-    n: usize,
-    mobile: bool,
-    present: f64,
-    the_seeds: &[u64],
-) -> Aggregate {
+fn run(combo: &Combo, n: usize, mobile: bool, present: f64, the_seeds: &[u64]) -> Aggregate {
     let mut cfg = ScenarioConfig::paper(n);
     if mobile {
         cfg.net.mobility = MobilityModel::walking();
@@ -74,7 +68,14 @@ fn main() {
         let label = if mobile { "mobile 0.5-2 m/s" } else { "static" };
         header(
             &format!("Fig. 16 summary, n = {n}, {label}, target intersection 0.9"),
-            &["combination", "adv msgs", "adv +rt", "lkp hit cost", "lkp miss cost", "hit ratio"],
+            &[
+                "combination",
+                "adv msgs",
+                "adv +rt",
+                "lkp hit cost",
+                "lkp miss cost",
+                "hit ratio",
+            ],
         );
         for combo in &combos {
             let hits = run(combo, n, mobile, 1.0, &the_seeds);

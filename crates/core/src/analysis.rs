@@ -42,10 +42,18 @@ pub fn miss_probability_after_churn(epsilon: f64, f: f64, regime: ChurnRegime) -
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
     assert!((0.0..1.0).contains(&f), "churn fraction in [0,1)");
     match regime {
-        ChurnRegime::FailuresOnly { adjust_lookup: false } => epsilon,
-        ChurnRegime::FailuresOnly { adjust_lookup: true } => epsilon.powf((1.0 - f).sqrt()),
-        ChurnRegime::JoinsOnly { adjust_lookup: false } => epsilon.powf(1.0 / (1.0 + f)),
-        ChurnRegime::JoinsOnly { adjust_lookup: true } => epsilon.powf(1.0 / (1.0 + f).sqrt()),
+        ChurnRegime::FailuresOnly {
+            adjust_lookup: false,
+        } => epsilon,
+        ChurnRegime::FailuresOnly {
+            adjust_lookup: true,
+        } => epsilon.powf((1.0 - f).sqrt()),
+        ChurnRegime::JoinsOnly {
+            adjust_lookup: false,
+        } => epsilon.powf(1.0 / (1.0 + f)),
+        ChurnRegime::JoinsOnly {
+            adjust_lookup: true,
+        } => epsilon.powf(1.0 / (1.0 + f).sqrt()),
         ChurnRegime::FailuresAndJoins => epsilon.powf(1.0 - f),
     }
 }
@@ -204,7 +212,9 @@ mod tests {
             let miss = miss_probability_after_churn(
                 0.05,
                 f,
-                ChurnRegime::FailuresOnly { adjust_lookup: false },
+                ChurnRegime::FailuresOnly {
+                    adjust_lookup: false,
+                },
             );
             assert_eq!(miss, 0.05);
         }
@@ -226,7 +236,9 @@ mod tests {
         let p = intersection_after_churn(
             0.05,
             0.5,
-            ChurnRegime::FailuresOnly { adjust_lookup: true },
+            ChurnRegime::FailuresOnly {
+                adjust_lookup: true,
+            },
         );
         assert!((p - 0.88).abs() < 0.01, "got {p}");
     }
@@ -234,9 +246,15 @@ mod tests {
     #[test]
     fn degradation_monotone_in_f() {
         let regimes = [
-            ChurnRegime::FailuresOnly { adjust_lookup: true },
-            ChurnRegime::JoinsOnly { adjust_lookup: false },
-            ChurnRegime::JoinsOnly { adjust_lookup: true },
+            ChurnRegime::FailuresOnly {
+                adjust_lookup: true,
+            },
+            ChurnRegime::JoinsOnly {
+                adjust_lookup: false,
+            },
+            ChurnRegime::JoinsOnly {
+                adjust_lookup: true,
+            },
             ChurnRegime::FailuresAndJoins,
         ];
         for regime in regimes {
@@ -253,10 +271,20 @@ mod tests {
     #[test]
     fn adjusted_joins_beat_constant_joins() {
         // Growing the lookup quorum with the network softens degradation.
-        let constant =
-            intersection_after_churn(0.1, 0.5, ChurnRegime::JoinsOnly { adjust_lookup: false });
-        let adjusted =
-            intersection_after_churn(0.1, 0.5, ChurnRegime::JoinsOnly { adjust_lookup: true });
+        let constant = intersection_after_churn(
+            0.1,
+            0.5,
+            ChurnRegime::JoinsOnly {
+                adjust_lookup: false,
+            },
+        );
+        let adjusted = intersection_after_churn(
+            0.1,
+            0.5,
+            ChurnRegime::JoinsOnly {
+                adjust_lookup: true,
+            },
+        );
         assert!(adjusted > constant);
     }
 
@@ -270,7 +298,9 @@ mod tests {
         let all = max_tolerable_churn(
             0.05,
             0.9,
-            ChurnRegime::FailuresOnly { adjust_lookup: false },
+            ChurnRegime::FailuresOnly {
+                adjust_lookup: false,
+            },
         )
         .unwrap();
         assert_eq!(all, 1.0);

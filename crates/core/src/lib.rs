@@ -67,7 +67,9 @@ pub mod workload;
 pub use membership::Membership;
 pub use messages::{AppMsg, OpId};
 pub use runner::{run_scenario, run_seeds, Aggregate, RunMetrics, ScenarioConfig};
-pub use service::{Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig};
+pub use service::{
+    Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, RetryPolicy, ServiceConfig,
+};
 pub use spec::{AccessStrategy, BiquorumSpec, QuorumSpec};
 pub use stack::{QuorumNet, QuorumStack};
 pub use store::{Key, Role, Store, Value};

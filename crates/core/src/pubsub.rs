@@ -37,9 +37,7 @@ pub type Topic = u32;
 /// bit 0 = active, bits 1..25 = version (24 bits, wrapping), bits
 /// 25..57 = subscriber id.
 fn pack(subscriber: NodeId, version: u32, active: bool) -> Value {
-    (u64::from(subscriber.0) << 25)
-        | (u64::from(version & 0x00FF_FFFF) << 1)
-        | u64::from(active)
+    (u64::from(subscriber.0) << 25) | (u64::from(version & 0x00FF_FFFF) << 1) | u64::from(active)
 }
 
 fn unpack(value: Value) -> (NodeId, u32, bool) {

@@ -5,7 +5,7 @@
 use crate::service::{OpKind, QuorumCounters, ServiceConfig};
 use crate::stack::{QuorumNet, QuorumStack};
 use crate::workload::{Workload, WorkloadConfig};
-use pqs_net::{NetConfig, Network};
+use pqs_net::{FaultPlan, NetConfig, NetStats, Network};
 use pqs_sim::rng::{self, streams};
 use pqs_sim::SimDuration;
 use rand::seq::SliceRandom;
@@ -35,6 +35,10 @@ pub struct ScenarioConfig {
     pub workload: WorkloadConfig,
     /// Optional churn between the phases.
     pub churn: Option<ChurnPlan>,
+    /// Optional deterministic fault plan (frame drops/delays/duplicates,
+    /// timed crashes, partitions) installed into the substrate before the
+    /// run starts.
+    pub faults: Option<FaultPlan>,
     /// Extra time after the last lookup for replies to drain.
     pub drain: SimDuration,
 }
@@ -50,6 +54,7 @@ impl ScenarioConfig {
             service: ServiceConfig::paper_default(n),
             workload: WorkloadConfig::default(),
             churn: None,
+            faults: None,
             drain: SimDuration::from_secs(30),
         }
     }
@@ -113,6 +118,9 @@ pub struct RunMetrics {
     pub lookup_phase: PhaseStats,
     /// Strategy counters at the end of the run.
     pub counters: QuorumCounters,
+    /// Link-level substrate counters at the end of the run (includes the
+    /// fault-injection and unicast-conservation counters).
+    pub net_stats: NetStats,
     /// Mean lookup completion latency over hits, in seconds.
     pub mean_hit_latency_s: f64,
 }
@@ -182,6 +190,9 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
     net_cfg.promiscuous =
         cfg.service.promiscuous_replies || cfg.service.caching || net_cfg.promiscuous;
     let mut net: QuorumNet = Network::new(net_cfg);
+    if let Some(plan) = &cfg.faults {
+        net.install_faults(plan.clone());
+    }
     let mut stack = QuorumStack::new(&net, cfg.service, seed);
     let n0 = net.alive_nodes().len();
 
@@ -235,6 +246,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
         advertise_phase: after_advertise,
         lookup_phase: final_stats.minus(after_advertise),
         counters: *stack.counters(),
+        net_stats: *net.stats(),
         mean_hit_latency_s: 0.0,
     };
     let mut latency_sum = 0.0;
@@ -296,14 +308,13 @@ fn apply_churn(
 /// Runs a scenario over several seeds in parallel (one thread per seed).
 pub fn run_seeds(cfg: &ScenarioConfig, seeds: &[u64]) -> Vec<RunMetrics> {
     let mut out: Vec<Option<RunMetrics>> = vec![None; seeds.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &seed) in out.iter_mut().zip(seeds) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_scenario(cfg, seed));
             });
         }
-    })
-    .expect("scenario thread panicked");
+    });
     out.into_iter()
         .map(|m| m.expect("all slots filled"))
         .collect()
@@ -411,6 +422,7 @@ mod tests {
             advertise_phase: PhaseStats::default(),
             lookup_phase: PhaseStats::default(),
             counters: QuorumCounters::default(),
+            net_stats: NetStats::default(),
             mean_hit_latency_s: 0.0,
         };
         assert_eq!(m.hit_ratio(), 0.0);

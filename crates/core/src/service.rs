@@ -34,6 +34,70 @@ pub enum RepairMode {
     },
 }
 
+/// Operation-level retry policy: failed or timed-out quorum accesses are
+/// re-issued with a fresh access set, bounded attempts, and jittered
+/// exponential backoff, under a per-operation deadline.
+///
+/// This is a robustness layer *above* the paper's per-message maintenance
+/// machinery (RW salvation, reply repair, probe substitution — §6.2):
+/// those keep a single access alive through individual link losses, while
+/// the retry layer re-runs the whole access when it still comes up empty
+/// (e.g. under frame-drop faults or heavy churn).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total issue attempts per operation, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// How long after each issue the operation is judged failed if it has
+    /// not succeeded yet.
+    pub attempt_timeout: SimDuration,
+    /// Backoff before the first re-issue; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Upper bound on the (pre-jitter) backoff.
+    pub max_backoff: SimDuration,
+    /// Hard per-operation deadline, measured from issue time. Once it
+    /// passes, the operation completes with `deadline_expired` set and no
+    /// further attempts are made.
+    pub op_deadline: SimDuration,
+    /// Re-size the lookup quorum on retry from the §6.3 population
+    /// estimate so that `|Qa_eff|·|Qℓ| ≥ n̂·ln(1/ε)` (Corollary 5.3) still
+    /// holds under churn; when even the whole live population cannot
+    /// reach the bound, the access is shrunk to what exists and flagged
+    /// `degraded` (shrink-or-warn).
+    pub adapt_quorum: bool,
+    /// Target miss probability ε for the sizing rule above.
+    pub epsilon: f64,
+}
+
+impl RetryPolicy {
+    /// A sensible default: 6 attempts, 5 s attempt timeout, 0.5 s → 8 s
+    /// backoff, 60 s deadline, quorum adaptation at ε = 0.1 (the paper's
+    /// working point).
+    pub fn default_policy() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            attempt_timeout: SimDuration::from_secs(5),
+            base_backoff: SimDuration::from_millis(500),
+            max_backoff: SimDuration::from_secs(8),
+            op_deadline: SimDuration::from_secs(60),
+            adapt_quorum: true,
+            epsilon: 0.1,
+        }
+    }
+
+    /// The pre-jitter backoff before re-issue number `retry` (1-based):
+    /// `base·2^(retry−1)`, capped at [`RetryPolicy::max_backoff`].
+    pub fn backoff_before(&self, retry: u32) -> SimDuration {
+        let mut b = self.base_backoff;
+        for _ in 1..retry {
+            if b.as_micros().saturating_mul(2) >= self.max_backoff.as_micros() {
+                return self.max_backoff;
+            }
+            b = SimDuration::from_micros(b.as_micros() * 2);
+        }
+        b.min(self.max_backoff)
+    }
+}
+
 /// Configuration of the quorum-backed location service.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -75,6 +139,9 @@ pub struct ServiceConfig {
     pub expanding_ring: bool,
     /// How long each expanding-ring stage waits before growing the TTL.
     pub expanding_ring_timeout: SimDuration,
+    /// Operation-level retry/deadline/backoff policy. `None` (the paper's
+    /// setup — it has no such layer) issues every access exactly once.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ServiceConfig {
@@ -86,7 +153,10 @@ impl ServiceConfig {
         ServiceConfig {
             spec: BiquorumSpec::new(
                 QuorumSpec::new(AccessStrategy::Random, crate::spec::paper_advertise_size(n)),
-                QuorumSpec::new(AccessStrategy::UniquePath, crate::spec::paper_lookup_size(n)),
+                QuorumSpec::new(
+                    AccessStrategy::UniquePath,
+                    crate::spec::paper_lookup_size(n),
+                ),
             ),
             lookup_fanout: Fanout::Serial,
             early_halting: true,
@@ -103,6 +173,7 @@ impl ServiceConfig {
             membership_view_factor: 2.0,
             expanding_ring: false,
             expanding_ring_timeout: SimDuration::from_millis(500),
+            retry: None,
         }
     }
 }
@@ -146,6 +217,16 @@ pub struct OpRecord {
     /// floods produce several). Quorum-based register implementations
     /// take the maximum-version element (§10).
     pub values_seen: Vec<Value>,
+    /// Issue attempts so far (1 = first issue, no retries).
+    pub attempts: u32,
+    /// The retry budget ran out before the operation succeeded (distinct
+    /// from a plain single-shot miss and from deadline expiry).
+    pub retries_exhausted: bool,
+    /// The per-operation deadline passed before the operation succeeded.
+    pub deadline_expired: bool,
+    /// A retry had to shrink the access below the Corollary 5.3 sizing
+    /// rule because the estimated live population could not support it.
+    pub degraded: bool,
 }
 
 impl OpRecord {
@@ -163,6 +244,10 @@ impl OpRecord {
             reply_dropped: false,
             stores_placed: 0,
             values_seen: Vec::new(),
+            attempts: 1,
+            retries_exhausted: false,
+            deadline_expired: false,
+            degraded: false,
         }
     }
 }
@@ -195,6 +280,18 @@ pub struct QuorumCounters {
     /// Nodes covered by floods (first receptions, origins included) —
     /// the numerator of Fig. 5's coverage curves.
     pub flood_covered: u64,
+    /// Operation re-issues by the retry layer (excludes first attempts).
+    pub op_retries: u64,
+    /// Operations that ran out of retry attempts without succeeding.
+    pub retries_exhausted: u64,
+    /// Operations whose per-op deadline expired before success.
+    pub deadlines_expired: u64,
+    /// Retries that had to shrink the access below the sizing rule
+    /// (shrink-or-warn degradation).
+    pub degraded_ops: u64,
+    /// Retries that re-sized the lookup quorum from the population
+    /// estimate (grow or shrink, §6.1/§6.3).
+    pub quorum_adaptations: u64,
 }
 
 impl QuorumCounters {
@@ -237,5 +334,35 @@ mod tests {
         let r = OpRecord::new(OpKind::Lookup, 5, NodeId(3), SimTime::from_secs(1));
         assert!(!r.intersected && !r.replied && r.completed.is_none());
         assert_eq!(r.stores_placed, 0);
+        assert_eq!(r.attempts, 1);
+        assert!(!r.retries_exhausted && !r.deadline_expired && !r.degraded);
+    }
+
+    #[test]
+    fn backoff_doubles_and_never_exceeds_cap() {
+        let policy = RetryPolicy {
+            base_backoff: SimDuration::from_millis(500),
+            max_backoff: SimDuration::from_secs(8),
+            ..RetryPolicy::default_policy()
+        };
+        assert_eq!(policy.backoff_before(1), SimDuration::from_millis(500));
+        assert_eq!(policy.backoff_before(2), SimDuration::from_secs(1));
+        assert_eq!(policy.backoff_before(3), SimDuration::from_secs(2));
+        assert_eq!(policy.backoff_before(5), SimDuration::from_secs(8));
+        // Far past the doubling range the cap still holds (no overflow).
+        for retry in 1..200 {
+            assert!(policy.backoff_before(retry) <= policy.max_backoff);
+        }
+    }
+
+    #[test]
+    fn backoff_with_base_above_cap_clamps() {
+        let policy = RetryPolicy {
+            base_backoff: SimDuration::from_secs(10),
+            max_backoff: SimDuration::from_secs(4),
+            ..RetryPolicy::default_policy()
+        };
+        assert_eq!(policy.backoff_before(1), SimDuration::from_secs(4));
+        assert_eq!(policy.backoff_before(7), SimDuration::from_secs(4));
     }
 }

@@ -171,7 +171,10 @@ impl BiquorumSpec {
             advertise.is_uniform_random() || lookup.is_uniform_random(),
             "mix-and-match needs at least one RANDOM side"
         );
-        assert!((0.0..1.0).contains(&epsilon) && epsilon > 0.0, "epsilon in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&epsilon) && epsilon > 0.0,
+            "epsilon in (0,1)"
+        );
         assert!(advertise_factor > 0.0, "advertise factor must be positive");
         let qa = (advertise_factor * (n as f64).sqrt()).ceil().max(1.0);
         let ql = (min_quorum_product(n, epsilon) / qa).ceil().max(1.0) as u32;

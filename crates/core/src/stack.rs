@@ -7,6 +7,7 @@
 //! per-node stores, membership views, in-flight walks/floods/probes and
 //! per-operation outcome records.
 
+use crate::estimator;
 use crate::membership::Membership;
 use crate::messages::{AppMsg, FloodMsg, FloodReplyMsg, OpId, QuorumAction, ReplyMsg, WalkMsg};
 use crate::service::{Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig};
@@ -15,9 +16,10 @@ use crate::store::{Key, Role, Store, Value};
 use pqs_net::{MacDst, Network, NodeId, Stack, Upcall};
 use pqs_routing::{RoutePacket, Router, RouterConfig, RouterEvent, TransitHandle};
 use pqs_sim::rng::{self, streams};
-use pqs_sim::EventId;
+use pqs_sim::{EventId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// The network type this stack runs over.
@@ -61,6 +63,15 @@ enum TimerCtx {
         key: Key,
         ttl: u8,
     },
+    /// Judgement point of the retry layer: fires `attempt_timeout` after
+    /// each issue to decide success / re-issue / give up.
+    RetryCheck {
+        op: OpId,
+    },
+    /// Backoff expiry: re-issue the operation now.
+    RetryFire {
+        op: OpId,
+    },
 }
 
 enum RouteCtx {
@@ -92,6 +103,22 @@ struct SerialLookup {
     substitutions: u32,
 }
 
+/// Per-operation state of the retry layer.
+struct RetryState {
+    /// Issue attempts so far (mirrors `OpRecord::attempts`).
+    attempts: u32,
+    /// Absolute give-up time (`started + policy.op_deadline`).
+    deadline: SimTime,
+    /// Advertise payload for re-issue (lookups carry only the key).
+    value: Option<Value>,
+}
+
+/// Why a retried operation was finally closed without success.
+enum RetryFailure {
+    Exhausted,
+    Deadline,
+}
+
 /// The quorum-backed location service over a simulated MANET.
 ///
 /// Use [`QuorumStack::advertise`] and [`QuorumStack::lookup`] to issue
@@ -114,6 +141,14 @@ pub struct QuorumStack {
     flood_seen: Vec<HashSet<u64>>,
     flood_parent: Vec<HashMap<u64, NodeId>>,
     next_flood: u64,
+    retry: HashMap<OpId, RetryState>,
+    /// Population at construction time (the `n` the quorums were sized
+    /// for).
+    initial_n: usize,
+    /// Original nodes that have failed since — rejoiners stay counted,
+    /// since their stores were wiped and they no longer hold old
+    /// advertisements. Drives the §6.1 advertise-survivor estimate.
+    original_failed: HashSet<NodeId>,
     counters: QuorumCounters,
     rng: StdRng,
 }
@@ -125,8 +160,7 @@ impl QuorumStack {
         let n = net.node_count();
         let alive = net.alive_nodes();
         let mut membership_rng = rng::stream(seed, streams::MEMBERSHIP);
-        let view_size =
-            (cfg.membership_view_factor * (alive.len() as f64).sqrt()).round() as usize;
+        let view_size = (cfg.membership_view_factor * (alive.len() as f64).sqrt()).round() as usize;
         let membership = Membership::converged(n, &alive, view_size.max(1), &mut membership_rng);
         let needs_tap = cfg.spec.advertise.strategy == AccessStrategy::RandomOpt
             || cfg.spec.lookup.strategy == AccessStrategy::RandomOpt;
@@ -150,6 +184,9 @@ impl QuorumStack {
             flood_seen: vec![HashSet::new(); n],
             flood_parent: vec![HashMap::new(); n],
             next_flood: 0,
+            retry: HashMap::new(),
+            initial_n: n,
+            original_failed: HashSet::new(),
             counters: QuorumCounters::default(),
             rng: rng::stream(seed, streams::QUORUM),
         }
@@ -213,12 +250,31 @@ impl QuorumStack {
         if !net.is_alive(node) {
             return op;
         }
+        self.issue_advertise(net, node, op, key, value);
+        self.arm_retry(net, op, Some(value));
+        op
+    }
+
+    /// One issue attempt of an advertise access. On retries only the
+    /// shortfall (`|Qa| − stores_placed`) is re-sent for the routed
+    /// strategies; walks and floods re-run whole.
+    fn issue_advertise(
+        &mut self,
+        net: &mut QuorumNet,
+        node: NodeId,
+        op: OpId,
+        key: Key,
+        value: Value,
+    ) {
         let spec = self.cfg.spec.advertise;
         match spec.strategy {
             AccessStrategy::Random | AccessStrategy::RandomOpt => {
-                let targets =
-                    self.membership
-                        .pick_quorum(node, spec.size as usize, &mut self.rng);
+                let placed = self.ops.get(&op).map_or(0, |r| r.stores_placed) as usize;
+                let want = (spec.size as usize).saturating_sub(placed);
+                if want == 0 {
+                    return;
+                }
+                let targets = self.membership.pick_quorum(node, want, &mut self.rng);
                 // Pace the stores: bursting |Qa| route discoveries at
                 // once saturates the medium (see ServiceConfig docs).
                 for (i, target) in targets.into_iter().enumerate() {
@@ -261,7 +317,6 @@ impl QuorumStack {
                 );
             }
         }
-        op
     }
 
     /// Looks `key` up from `node` through the lookup quorum. The
@@ -275,13 +330,21 @@ impl QuorumStack {
         if !net.is_alive(node) {
             return op;
         }
+        self.issue_lookup(net, node, op, key);
+        self.arm_retry(net, op, None);
+        op
+    }
+
+    /// One issue attempt of a lookup access (also the re-issue path of
+    /// the retry layer, which picks a fresh access set each time).
+    fn issue_lookup(&mut self, net: &mut QuorumNet, node: NodeId, op: OpId, key: Key) {
         // The originator is part of its own quorum (§8.3). A local hit
         // completes the lookup immediately; parallel fan-outs still probe
         // the rest of the quorum so that collect-style consumers (the
         // register, pub/sub) see every stored value.
         let local = self.stores[node.index()].lookup_all(key);
         if !local.is_empty() {
-            let rec = self.ops.get_mut(&op).expect("just inserted");
+            let rec = self.ops.get_mut(&op).expect("record exists while issuing");
             rec.intersected = true;
             self.complete_lookup_values(net, op, local);
             let keeps_probing = self.cfg.lookup_fanout == Fanout::Parallel
@@ -290,15 +353,15 @@ impl QuorumStack {
                     AccessStrategy::Random | AccessStrategy::RandomOpt
                 );
             if !keeps_probing {
-                return op;
+                return;
             }
         }
         let spec = self.cfg.spec.lookup;
         match spec.strategy {
             AccessStrategy::Random | AccessStrategy::RandomOpt => {
-                let targets =
-                    self.membership
-                        .pick_quorum(node, spec.size as usize, &mut self.rng);
+                let targets = self
+                    .membership
+                    .pick_quorum(node, spec.size as usize, &mut self.rng);
                 match self.cfg.lookup_fanout {
                     Fanout::Parallel => {
                         for target in targets {
@@ -339,7 +402,247 @@ impl QuorumStack {
                 }
             }
         }
-        op
+    }
+
+    // ------------------------------------------------------------------
+    // Operation-level retry (deadline + jittered exponential backoff)
+    // ------------------------------------------------------------------
+
+    /// Whether the operation needs no (further) retries.
+    fn op_succeeded(&self, op: OpId) -> bool {
+        let Some(rec) = self.ops.get(&op) else {
+            return true;
+        };
+        match rec.kind {
+            OpKind::Lookup => rec.replied,
+            OpKind::Advertise => {
+                let spec = self.cfg.spec.advertise;
+                // Flooding's size parameter is a TTL, not a member count,
+                // and floods are unconfirmed — the origin's own store is
+                // the only guaranteed placement.
+                let target = match spec.strategy {
+                    AccessStrategy::Flooding => 1,
+                    _ => spec.size,
+                };
+                rec.stores_placed >= target
+            }
+        }
+    }
+
+    /// Arms the retry layer for a freshly issued operation.
+    fn arm_retry(&mut self, net: &mut QuorumNet, op: OpId, value: Option<Value>) {
+        let Some(policy) = self.cfg.retry else {
+            return;
+        };
+        if self.op_succeeded(op) {
+            return;
+        }
+        let Some(rec) = self.ops.get(&op) else {
+            return;
+        };
+        let origin = rec.origin;
+        self.retry.insert(
+            op,
+            RetryState {
+                attempts: 1,
+                deadline: net.now() + policy.op_deadline,
+                value,
+            },
+        );
+        let token = self.token();
+        self.timer_ctx.insert(token, TimerCtx::RetryCheck { op });
+        net.set_timer(origin, policy.attempt_timeout, token);
+    }
+
+    /// Judgement point, `attempt_timeout` after an issue: success drops
+    /// the state; failure schedules a jittered backoff or closes the
+    /// operation (exhaustion / deadline) with a distinct outcome.
+    fn retry_check(&mut self, net: &mut QuorumNet, op: OpId) {
+        let Some(policy) = self.cfg.retry else {
+            self.retry.remove(&op);
+            return;
+        };
+        if self.op_succeeded(op) {
+            self.retry.remove(&op);
+            return;
+        }
+        let Some(state) = self.retry.get(&op) else {
+            return;
+        };
+        let (attempts, deadline) = (state.attempts, state.deadline);
+        let now = net.now();
+        if now >= deadline {
+            self.finish_failed(net, op, RetryFailure::Deadline);
+            return;
+        }
+        if attempts >= policy.max_attempts {
+            self.finish_failed(net, op, RetryFailure::Exhausted);
+            return;
+        }
+        let Some(origin) = self.ops.get(&op).map(|r| r.origin) else {
+            self.retry.remove(&op);
+            return;
+        };
+        // Jittered exponential backoff: uniform in [b/2, b], so repeated
+        // failures across nodes desynchronise instead of thundering.
+        let b = policy.backoff_before(attempts).as_micros().max(2);
+        let jittered = SimDuration::from_micros(self.rng.gen_range(b / 2..=b));
+        let token = self.token();
+        self.timer_ctx.insert(token, TimerCtx::RetryFire { op });
+        net.set_timer(origin, jittered, token);
+    }
+
+    /// Backoff expiry: re-issue with a fresh access set.
+    fn retry_fire(&mut self, net: &mut QuorumNet, op: OpId) {
+        let Some(policy) = self.cfg.retry else {
+            return;
+        };
+        if self.op_succeeded(op) {
+            self.retry.remove(&op);
+            return;
+        }
+        let Some(state) = self.retry.get(&op) else {
+            return;
+        };
+        let (deadline, value) = (state.deadline, state.value);
+        if net.now() >= deadline {
+            self.finish_failed(net, op, RetryFailure::Deadline);
+            return;
+        }
+        let Some((kind, origin, key)) = self.ops.get(&op).map(|r| (r.kind, r.origin, r.key)) else {
+            self.retry.remove(&op);
+            return;
+        };
+        if !net.is_alive(origin) {
+            self.retry.remove(&op);
+            return;
+        }
+        if let Some(state) = self.retry.get_mut(&op) {
+            state.attempts += 1;
+        }
+        self.counters.op_retries += 1;
+        if let Some(rec) = self.ops.get_mut(&op) {
+            rec.attempts += 1;
+            // Reopen a record a previous attempt closed as a miss.
+            rec.completed = None;
+        }
+        if policy.adapt_quorum && kind == OpKind::Lookup {
+            self.adapt_lookup_quorum(net, op, policy.epsilon);
+        }
+        // A fresh access set: resample the origin's membership view over
+        // the currently alive population before re-picking the quorum.
+        let alive = net.alive_nodes();
+        let view = (self.cfg.membership_view_factor * (alive.len() as f64).sqrt()).round() as usize;
+        self.membership
+            .refresh_view(origin, &alive, view.max(1), &mut self.rng);
+        match kind {
+            OpKind::Advertise => {
+                if let Some(value) = value {
+                    self.issue_advertise(net, origin, op, key, value);
+                }
+            }
+            OpKind::Lookup => {
+                // Clear per-attempt lookup state so the re-issue runs
+                // clean (stale replies still complete the op if they
+                // arrive first).
+                self.replies_started.remove(&op);
+                if let Some(s) = self.serial.remove(&op) {
+                    if let Some(t) = s.timer {
+                        net.cancel_timer(t);
+                    }
+                }
+                self.issue_lookup(net, origin, op, key);
+            }
+        }
+        let token = self.token();
+        self.timer_ctx.insert(token, TimerCtx::RetryCheck { op });
+        net.set_timer(origin, policy.attempt_timeout, token);
+    }
+
+    /// Closes a retried operation without success, with a distinct
+    /// outcome (exhaustion vs deadline expiry — not a silent miss).
+    fn finish_failed(&mut self, net: &mut QuorumNet, op: OpId, why: RetryFailure) {
+        self.retry.remove(&op);
+        let now = net.now();
+        if let Some(rec) = self.ops.get_mut(&op) {
+            match why {
+                RetryFailure::Exhausted => {
+                    rec.retries_exhausted = true;
+                    self.counters.retries_exhausted += 1;
+                }
+                RetryFailure::Deadline => {
+                    rec.deadline_expired = true;
+                    self.counters.deadlines_expired += 1;
+                }
+            }
+            rec.completed.get_or_insert(now);
+        }
+    }
+
+    /// §6.1 + §6.3 graceful degradation: re-size the lookup quorum so
+    /// `|Qa_eff|·|Qℓ| ≥ n̂·ln(1/ε)` (Corollary 5.3) still holds, where
+    /// `n̂` is the collision-sampled population estimate and `|Qa_eff|`
+    /// the expected advertise survivors. When even the whole live
+    /// population cannot reach the bound, shrink to what exists and flag
+    /// the operation degraded (shrink-or-warn).
+    fn adapt_lookup_quorum(&mut self, net: &mut QuorumNet, op: OpId, epsilon: f64) {
+        // Only member-count lookups can be re-sized this way; flooding's
+        // size is a TTL and RANDOM-OPT's a probe count.
+        if !matches!(
+            self.cfg.spec.lookup.strategy,
+            AccessStrategy::Random | AccessStrategy::Path | AccessStrategy::UniquePath
+        ) {
+            return;
+        }
+        let alive = net.alive_nodes();
+        if alive.is_empty() {
+            return;
+        }
+        // §6.3: birthday-collision estimate over ~2√n MD-walk samples of
+        // the current connectivity graph; the true alive count stands in
+        // when the sample yields no collisions.
+        let graph = net.connectivity_graph();
+        let k = (2.0 * (alive.len() as f64).sqrt()).ceil() as usize + 4;
+        let n_est = estimator::estimate_graph_size(
+            &graph,
+            alive[0].index(),
+            k,
+            graph.node_count().max(2),
+            &mut self.rng,
+        )
+        .unwrap_or(alive.len() as f64)
+        .max(1.0);
+        // Survivors of the original advertise quorums scale with the
+        // fraction of the initial population still alive (§6.1 case 1).
+        let surviving = (self.initial_n.saturating_sub(self.original_failed.len())) as f64
+            / self.initial_n.max(1) as f64;
+        let qa_eff = f64::from(self.cfg.spec.advertise.size) * surviving;
+        if qa_eff < 1.0 {
+            // No advertise survivors left: nothing to intersect with.
+            self.mark_degraded(op);
+            return;
+        }
+        let eps = epsilon.clamp(1e-9, 1.0 - 1e-9);
+        let required = crate::spec::min_quorum_product(n_est.round() as usize, eps);
+        let needed = (required / qa_eff).ceil().max(1.0) as u32;
+        let cap = alive.len() as u32;
+        if needed > cap {
+            self.mark_degraded(op);
+        }
+        let new_size = needed.min(cap);
+        if new_size != self.cfg.spec.lookup.size {
+            self.counters.quorum_adaptations += 1;
+            self.cfg.spec.lookup.size = new_size;
+        }
+    }
+
+    fn mark_degraded(&mut self, op: OpId) {
+        if let Some(rec) = self.ops.get_mut(&op) {
+            if !rec.degraded {
+                rec.degraded = true;
+                self.counters.degraded_ops += 1;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -379,7 +682,14 @@ impl QuorumStack {
         self.dispatch(net, events);
     }
 
-    fn send_probe(&mut self, net: &mut QuorumNet, origin: NodeId, op: OpId, key: Key, target: NodeId) {
+    fn send_probe(
+        &mut self,
+        net: &mut QuorumNet,
+        origin: NodeId,
+        op: OpId,
+        key: Key,
+        target: NodeId,
+    ) {
         let token = self.token();
         self.route_ctx.insert(token, RouteCtx::Probe { op });
         let events = self.router.send_data(
@@ -523,8 +833,14 @@ impl QuorumStack {
             QuorumAction::Advertise { .. } => net.config().payload_bytes,
             QuorumAction::Lookup { .. } => 48,
         } + 4 * msg.visited.len();
-        self.router
-            .send_one_hop(net, at, MacDst::Unicast(next), AppMsg::Walk(msg), token, bytes);
+        self.router.send_one_hop(
+            net,
+            at,
+            MacDst::Unicast(next),
+            AppMsg::Walk(msg),
+            token,
+            bytes,
+        );
     }
 
     fn start_walk_reply(&mut self, net: &mut QuorumNet, at: NodeId, msg: &WalkMsg, value: Value) {
@@ -630,19 +946,23 @@ impl QuorumStack {
             },
         );
         let max_ttl = scoped.then_some(ttl);
-        let events = self.router.send_data(
-            net,
-            at,
-            target,
-            AppMsg::WalkReply(reply),
-            token,
-            max_ttl,
-        );
+        let events =
+            self.router
+                .send_data(net, at, target, AppMsg::WalkReply(reply), token, max_ttl);
         self.dispatch(net, events);
     }
 
-    fn repair_failed(&mut self, net: &mut QuorumNet, at: NodeId, mut reply: ReplyMsg, scoped: bool) {
-        let RepairMode::Local { global_fallback, .. } = self.cfg.repair else {
+    fn repair_failed(
+        &mut self,
+        net: &mut QuorumNet,
+        at: NodeId,
+        mut reply: ReplyMsg,
+        scoped: bool,
+    ) {
+        let RepairMode::Local {
+            global_fallback, ..
+        } = self.cfg.repair
+        else {
             self.drop_reply(reply.op);
             return;
         };
@@ -1156,8 +1476,19 @@ impl QuorumStack {
             } => {
                 self.send_store(net, origin, op, key, value, target, 0);
             }
-            TimerCtx::ExpandRing { op, origin, key, ttl } => {
+            TimerCtx::ExpandRing {
+                op,
+                origin,
+                key,
+                ttl,
+            } => {
                 self.expanding_ring_stage(net, origin, op, key, ttl);
+            }
+            TimerCtx::RetryCheck { op } => {
+                self.retry_check(net, op);
+            }
+            TimerCtx::RetryFire { op } => {
+                self.retry_fire(net, op);
             }
         }
     }
@@ -1173,6 +1504,13 @@ impl QuorumStack {
             parents.clear();
         }
         self.serial.retain(|_, s| s.origin != node);
+        if node.index() < self.initial_n {
+            self.original_failed.insert(node);
+        }
+        // A dead originator cannot receive replies; abandon its retries.
+        let ops = &self.ops;
+        self.retry
+            .retain(|op, _| ops.get(op).is_some_and(|r| r.origin != node));
     }
 
     fn on_node_joined(&mut self, net: &mut QuorumNet, node: NodeId) {
@@ -1183,8 +1521,7 @@ impl QuorumStack {
         }
         self.stores[node.index()].clear();
         let alive = net.alive_nodes();
-        let view =
-            (self.cfg.membership_view_factor * (alive.len() as f64).sqrt()).round() as usize;
+        let view = (self.cfg.membership_view_factor * (alive.len() as f64).sqrt()).round() as usize;
         self.membership
             .refresh_view(node, &alive, view.max(1), &mut self.rng);
     }

@@ -104,8 +104,7 @@ impl Workload {
         );
         let mut advertisements = Vec::with_capacity(cfg.advertisements);
         for i in 0..cfg.advertisements {
-            let at = cfg.start
-                + cfg.advertise_window * i as u64 / cfg.advertisements.max(1) as u64;
+            let at = cfg.start + cfg.advertise_window * i as u64 / cfg.advertisements.max(1) as u64;
             let who = *population.choose(rng).expect("nonempty");
             let key = 1_000 + i as Key;
             let value = 500_000 + i as Value;

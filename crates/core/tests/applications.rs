@@ -46,7 +46,11 @@ fn register_reads_return_latest_write() {
     assert!(!w1.pump(&mut stack, &mut net) || w1.result().is_some());
     run_for(&mut net, &mut stack, 30);
     assert!(w1.pump(&mut stack, &mut net), "write 1 must finish");
-    assert_eq!(w1.result(), Some((1, 111)), "first write installs version 1");
+    assert_eq!(
+        w1.result(),
+        Some((1, 111)),
+        "first write installs version 1"
+    );
 
     // Write 2 from b: must observe version 1 and install version 2.
     let mut w2 = RegisterOp::write(&mut stack, &mut net, b, key, 222);
@@ -62,7 +66,11 @@ fn register_reads_return_latest_write() {
     r.pump(&mut stack, &mut net);
     run_for(&mut net, &mut stack, 30);
     assert!(r.pump(&mut stack, &mut net), "read must finish");
-    assert_eq!(r.result(), Some((2, 222)), "read returns the newest version");
+    assert_eq!(
+        r.result(),
+        Some((2, 222)),
+        "read returns the newest version"
+    );
 }
 
 #[test]
@@ -97,8 +105,14 @@ fn pubsub_notifies_active_subscribers_only() {
         .filter(|&&(t, p, _)| t == topic && p == publisher)
         .map(|&(_, _, s)| s)
         .collect();
-    assert!(notified.contains(&sub1), "subscriber 1 notified: {notified:?}");
-    assert!(notified.contains(&sub2), "subscriber 2 notified: {notified:?}");
+    assert!(
+        notified.contains(&sub1),
+        "subscriber 1 notified: {notified:?}"
+    );
+    assert!(
+        notified.contains(&sub2),
+        "subscriber 2 notified: {notified:?}"
+    );
 
     // Unsubscribe sub1; a later publish should (almost surely, with
     // parallel full-quorum probing) not notify it.
@@ -117,5 +131,9 @@ fn pubsub_notifies_active_subscribers_only() {
         !new_notifications.iter().any(|&(_, _, s)| s == sub1),
         "withdrawn subscriber must not be notified (stale version discarded)"
     );
-    assert_eq!(pubsub.version(sub1, topic), Some(2), "unsubscribe bumped version");
+    assert_eq!(
+        pubsub.version(sub1, topic),
+        Some(2),
+        "unsubscribe bumped version"
+    );
 }

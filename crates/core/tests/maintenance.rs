@@ -155,8 +155,7 @@ fn estimator_integrates_with_network_graph() {
 #[test]
 fn absent_key_serial_lookup_terminates_via_miss_replies() {
     let (mut net, mut stack) = build(80, 55, |cfg| {
-        cfg.service.spec.lookup =
-            QuorumSpec::new(AccessStrategy::Random, 6);
+        cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::Random, 6);
         cfg.service.lookup_fanout = Fanout::Serial;
     });
     let looker = net.alive_nodes()[11];

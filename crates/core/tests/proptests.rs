@@ -1,19 +1,27 @@
 //! Property-based tests for the quorum mathematics and service state.
 
-use proptest::prelude::*;
 use pqs_core::analysis::{intersection_after_churn, ChurnRegime};
 use pqs_core::spec::{
     intersection_lower_bound, min_quorum_product, symmetric_quorum_size, AccessStrategy,
     BiquorumSpec,
 };
 use pqs_core::store::{Role, Store};
+use proptest::prelude::*;
 
 fn regimes() -> [ChurnRegime; 5] {
     [
-        ChurnRegime::FailuresOnly { adjust_lookup: false },
-        ChurnRegime::FailuresOnly { adjust_lookup: true },
-        ChurnRegime::JoinsOnly { adjust_lookup: false },
-        ChurnRegime::JoinsOnly { adjust_lookup: true },
+        ChurnRegime::FailuresOnly {
+            adjust_lookup: false,
+        },
+        ChurnRegime::FailuresOnly {
+            adjust_lookup: true,
+        },
+        ChurnRegime::JoinsOnly {
+            adjust_lookup: false,
+        },
+        ChurnRegime::JoinsOnly {
+            adjust_lookup: true,
+        },
         ChurnRegime::FailuresAndJoins,
     ]
 }

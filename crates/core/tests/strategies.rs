@@ -13,8 +13,8 @@ fn scenario(n: usize, adv: AccessStrategy, lkp: AccessStrategy) -> ScenarioConfi
     let qa = pqs_core::spec::paper_advertise_size(n);
     let ql = pqs_core::spec::paper_lookup_size(n);
     let size_for = |s: AccessStrategy, default: u32| match s {
-        AccessStrategy::Flooding => 4,   // TTL
-        AccessStrategy::RandomOpt => 6,  // probes
+        AccessStrategy::Flooding => 4,  // TTL
+        AccessStrategy::RandomOpt => 6, // probes
         _ => default,
     };
     cfg.service.spec = BiquorumSpec::new(
@@ -100,7 +100,11 @@ fn unique_path_advertise_unique_path_lookup_needs_long_walks() {
         m_long.hit_ratio(),
         m_short.hit_ratio()
     );
-    assert!(m_long.hit_ratio() >= 0.6, "hit ratio {}", m_long.hit_ratio());
+    assert!(
+        m_long.hit_ratio() >= 0.6,
+        "hit ratio {}",
+        m_long.hit_ratio()
+    );
 }
 
 #[test]
@@ -246,7 +250,11 @@ fn expanding_ring_flooding_stops_early_on_hits() {
     ring.service.expanding_ring = true;
     let m_fixed = run_scenario(&fixed, 13);
     let m_ring = run_scenario(&ring, 13);
-    assert!(m_ring.hit_ratio() >= 0.6, "ring hit ratio {}", m_ring.hit_ratio());
+    assert!(
+        m_ring.hit_ratio() >= 0.6,
+        "ring hit ratio {}",
+        m_ring.hit_ratio()
+    );
     assert!(
         m_ring.counters.flood_tx < m_fixed.counters.flood_tx,
         "ring should flood less on hits: {} vs {}",

@@ -179,7 +179,14 @@ pub fn partial_cover_steps<R: Rng + ?Sized>(
     kind: WalkKind,
     rng: &mut R,
 ) -> Option<u64> {
-    partial_cover_steps_capped(graph, start, targets, kind, default_cap(graph.node_count(), targets), rng)
+    partial_cover_steps_capped(
+        graph,
+        start,
+        targets,
+        kind,
+        default_cap(graph.node_count(), targets),
+        rng,
+    )
 }
 
 /// Like [`partial_cover_steps`] with an explicit step budget.
@@ -309,7 +316,10 @@ mod tests {
         let mut prev = 0;
         for _ in 0..100 {
             let next = w.step(&mut r);
-            assert!(g.has_edge(prev, next), "walk used a non-edge {prev}->{next}");
+            assert!(
+                g.has_edge(prev, next),
+                "walk used a non-edge {prev}->{next}"
+            );
             prev = next;
         }
         assert_eq!(w.steps(), 100);
@@ -319,8 +329,7 @@ mod tests {
     fn self_avoiding_walk_covers_cycle_in_exactly_n_minus_1_steps() {
         let g = cycle(20);
         let mut r = rng::stream(2, 0);
-        let steps =
-            partial_cover_steps(&g, 0, 20, WalkKind::SelfAvoiding, &mut r).expect("covers");
+        let steps = partial_cover_steps(&g, 0, 20, WalkKind::SelfAvoiding, &mut r).expect("covers");
         assert_eq!(steps, 19);
     }
 
@@ -413,10 +422,7 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(2, 3);
         let mut r = rng::stream(9, 0);
-        assert_eq!(
-            crossing_steps(&g, 0, 2, WalkKind::Simple, &mut r),
-            None
-        );
+        assert_eq!(crossing_steps(&g, 0, 2, WalkKind::Simple, &mut r), None);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Property-based tests for graphs, RGGs and random walks.
 
-use proptest::prelude::*;
 use pqs_graph::rgg::{self, RggConfig, Topology};
 use pqs_graph::walks::{WalkKind, Walker};
 use pqs_graph::Graph;
 use pqs_sim::rng;
+use proptest::prelude::*;
 
 /// Builds an arbitrary simple graph from an edge list over `n` nodes.
 fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> Graph {

@@ -1,0 +1,519 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The paper's claims all concern behaviour under adversity — ε-bounded
+//! quorum intersection while nodes crash, move and lose frames (§6.1),
+//! and local repair when they do (§6.2). This module turns "adversity"
+//! into a first-class, declarative input: a [`FaultPlan`] describes
+//! *what* goes wrong and *when* (frame drops/delays/duplicates, node and
+//! region crashes, area partitions), and the [`FaultInjector`] executes
+//! it inside [`crate::Network`] delivery using a dedicated RNG stream
+//! (`pqs_sim::rng::streams::FAULTS`). The same master seed and plan
+//! therefore reproduce an identical event trace, which is what makes
+//! fault scenarios regression-testable.
+//!
+//! # Examples
+//!
+//! ```
+//! use pqs_net::faults::FaultPlan;
+//! use pqs_sim::{SimDuration, SimTime};
+//!
+//! let plan = FaultPlan::new()
+//!     .drop_frames(0.10)
+//!     .delay_data_frames(0.05, SimDuration::from_millis(20))
+//!     .partition_vertical(0.5, SimTime::from_secs(30), SimTime::from_secs(60));
+//! assert_eq!(plan.frame_rules().len(), 2);
+//! ```
+
+use crate::geometry::Point;
+use crate::NodeId;
+use pqs_sim::rng::{self, streams};
+use pqs_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which frames a [`FrameFaultRule`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultScope {
+    /// Every frame on the air.
+    All,
+    /// Frames sent or received by one node (a flaky radio).
+    Node(NodeId),
+    /// Frames whose sender or receiver is inside a disc (a jammed or
+    /// lossy area).
+    Region {
+        /// Disc centre.
+        center: Point,
+        /// Disc radius in metres.
+        radius_m: f64,
+    },
+}
+
+impl FaultScope {
+    /// Does the rule apply to a link with these endpoints?
+    fn matches(&self, sender: NodeId, sender_pos: Point, rx: NodeId, rx_pos: Point) -> bool {
+        match *self {
+            FaultScope::All => true,
+            FaultScope::Node(node) => node == sender || node == rx,
+            FaultScope::Region { center, radius_m } => {
+                sender_pos.distance(center) <= radius_m || rx_pos.distance(center) <= radius_m
+            }
+        }
+    }
+}
+
+/// A probabilistic frame fault active during a time window.
+///
+/// Drop applies to every frame kind (data, hello, ACK); delay and
+/// duplication apply to *data deliveries* only — hellos and ACKs have no
+/// meaningful deferred-delivery semantics at this abstraction level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameFaultRule {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive). Use [`SimTime::MAX`] for "forever".
+    pub until: SimTime,
+    /// Which links the rule covers.
+    pub scope: FaultScope,
+    /// Probability a covered frame reception is silently lost.
+    pub drop_prob: f64,
+    /// Probability a surviving data delivery is deferred.
+    pub delay_prob: f64,
+    /// Maximum extra delivery latency (uniform in `(0, max]`).
+    pub max_delay: SimDuration,
+    /// Probability a surviving data delivery is delivered twice.
+    pub duplicate_prob: f64,
+}
+
+impl FrameFaultRule {
+    fn active(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// A scheduled node- or region-level fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeFaultEvent {
+    /// Crash one node at `at`.
+    Crash {
+        /// The victim.
+        node: NodeId,
+        /// When it goes down.
+        at: SimTime,
+    },
+    /// Recover (rejoin) one node at `at`.
+    Recover {
+        /// The node coming back.
+        node: NodeId,
+        /// When it comes back.
+        at: SimTime,
+    },
+    /// Crash every alive node inside a disc at `at` (a localized
+    /// catastrophe — e.g. the paper's motivating disaster-area scenario).
+    RegionCrash {
+        /// Disc centre.
+        center: Point,
+        /// Disc radius in metres.
+        radius_m: f64,
+        /// When the region goes down.
+        at: SimTime,
+    },
+}
+
+/// A network partition: during the window, frames crossing the vertical
+/// line `x = fraction · side` are dropped deterministically (no RNG).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Position of the cut as a fraction of the area side, in `(0, 1)`.
+    pub x_fraction: f64,
+}
+
+impl PartitionWindow {
+    fn severs(&self, now: SimTime, side_m: f64, a: Point, b: Point) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        let cut = self.x_fraction * side_m;
+        (a.x < cut) != (b.x < cut)
+    }
+}
+
+/// A declarative fault schedule: what goes wrong, when, and to whom.
+///
+/// Build with the fluent helpers, install with
+/// [`crate::Network::install_faults`]. An empty plan injects nothing and
+/// draws nothing from the fault RNG stream, so installing it leaves a
+/// simulation bit-identical to one without a plan.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    frame_rules: Vec<FrameFaultRule>,
+    node_events: Vec<NodeFaultEvent>,
+    partitions: Vec<PartitionWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary frame-fault rule.
+    pub fn with_rule(mut self, rule: FrameFaultRule) -> Self {
+        self.frame_rules.push(rule);
+        self
+    }
+
+    /// Drops every frame kind with probability `prob`, everywhere,
+    /// forever.
+    pub fn drop_frames(self, prob: f64) -> Self {
+        self.drop_frames_between(prob, SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Drops every frame kind with probability `prob` during a window.
+    pub fn drop_frames_between(self, prob: f64, from: SimTime, until: SimTime) -> Self {
+        self.with_rule(FrameFaultRule {
+            from,
+            until,
+            scope: FaultScope::All,
+            drop_prob: prob,
+            delay_prob: 0.0,
+            max_delay: SimDuration::ZERO,
+            duplicate_prob: 0.0,
+        })
+    }
+
+    /// Drops frames with probability `prob` on links touching a disc.
+    pub fn drop_frames_in_region(self, prob: f64, center: Point, radius_m: f64) -> Self {
+        self.with_rule(FrameFaultRule {
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            scope: FaultScope::Region { center, radius_m },
+            drop_prob: prob,
+            delay_prob: 0.0,
+            max_delay: SimDuration::ZERO,
+            duplicate_prob: 0.0,
+        })
+    }
+
+    /// Defers data deliveries with probability `prob` by up to
+    /// `max_delay`.
+    pub fn delay_data_frames(self, prob: f64, max_delay: SimDuration) -> Self {
+        self.with_rule(FrameFaultRule {
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            scope: FaultScope::All,
+            drop_prob: 0.0,
+            delay_prob: prob,
+            max_delay,
+            duplicate_prob: 0.0,
+        })
+    }
+
+    /// Duplicates data deliveries with probability `prob`.
+    pub fn duplicate_data_frames(self, prob: f64) -> Self {
+        self.with_rule(FrameFaultRule {
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            scope: FaultScope::All,
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: SimDuration::ZERO,
+            duplicate_prob: prob,
+        })
+    }
+
+    /// Crashes `node` at `at`.
+    pub fn crash_at(mut self, node: NodeId, at: SimTime) -> Self {
+        self.node_events.push(NodeFaultEvent::Crash { node, at });
+        self
+    }
+
+    /// Recovers (rejoins) `node` at `at`.
+    pub fn recover_at(mut self, node: NodeId, at: SimTime) -> Self {
+        self.node_events.push(NodeFaultEvent::Recover { node, at });
+        self
+    }
+
+    /// Crashes every node inside the disc at `at`.
+    pub fn crash_region(mut self, center: Point, radius_m: f64, at: SimTime) -> Self {
+        self.node_events.push(NodeFaultEvent::RegionCrash {
+            center,
+            radius_m,
+            at,
+        });
+        self
+    }
+
+    /// Splits the area along `x = x_fraction · side` during the window.
+    pub fn partition_vertical(mut self, x_fraction: f64, from: SimTime, until: SimTime) -> Self {
+        self.partitions.push(PartitionWindow {
+            from,
+            until,
+            x_fraction,
+        });
+        self
+    }
+
+    /// The frame-fault rules in the plan.
+    pub fn frame_rules(&self) -> &[FrameFaultRule] {
+        &self.frame_rules
+    }
+
+    /// The scheduled node/region fault events.
+    pub fn node_events(&self) -> &[NodeFaultEvent] {
+        &self.node_events
+    }
+
+    /// The partition windows.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// `true` if the plan can never affect a frame (no rules and no
+    /// partitions; node events may still be scheduled).
+    pub fn is_frame_transparent(&self) -> bool {
+        self.frame_rules.is_empty() && self.partitions.is_empty()
+    }
+}
+
+/// Per-receiver fate of a frame that the PHY decoded successfully.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameFate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose it (the receiver never saw it).
+    Drop,
+    /// Deliver, but only after the extra latency.
+    Delay(SimDuration),
+    /// Deliver now and once more after the extra latency.
+    Duplicate(SimDuration),
+}
+
+/// Executes a [`FaultPlan`] against live traffic.
+///
+/// Created by [`crate::Network::install_faults`]; draws exclusively from
+/// the dedicated `FAULTS` RNG stream so fault decisions never perturb
+/// placement, MAC or protocol randomness.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`, seeded from the simulation's
+    /// master seed.
+    pub fn new(plan: FaultPlan, master_seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: rng::stream(master_seed, streams::FAULTS),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides the fate of one successfully decoded frame reception.
+    ///
+    /// `is_data` selects eligibility for delay/duplication; drops and
+    /// partitions apply to every kind. Partitions are checked first and
+    /// consume no randomness.
+    #[allow(clippy::too_many_arguments)]
+    pub fn frame_fate(
+        &mut self,
+        now: SimTime,
+        side_m: f64,
+        sender: NodeId,
+        sender_pos: Point,
+        rx: NodeId,
+        rx_pos: Point,
+        is_data: bool,
+    ) -> FrameFate {
+        for window in &self.plan.partitions {
+            if window.severs(now, side_m, sender_pos, rx_pos) {
+                return FrameFate::Drop;
+            }
+        }
+        let mut fate = FrameFate::Deliver;
+        for rule in &self.plan.frame_rules {
+            if !rule.active(now) || !rule.scope.matches(sender, sender_pos, rx, rx_pos) {
+                continue;
+            }
+            if rule.drop_prob > 0.0 && self.rng.gen_bool(rule.drop_prob) {
+                return FrameFate::Drop;
+            }
+            if !is_data || fate != FrameFate::Deliver {
+                continue;
+            }
+            if rule.delay_prob > 0.0 && self.rng.gen_bool(rule.delay_prob) {
+                fate = FrameFate::Delay(sample_delay(&mut self.rng, rule.max_delay));
+            } else if rule.duplicate_prob > 0.0 && self.rng.gen_bool(rule.duplicate_prob) {
+                fate = FrameFate::Duplicate(sample_delay(&mut self.rng, rule.max_delay));
+            }
+        }
+        fate
+    }
+}
+
+/// Uniform in `(0, max]`, with a small floor so deferred deliveries are
+/// strictly after the original reception instant.
+fn sample_delay(rng: &mut StdRng, max: SimDuration) -> SimDuration {
+    let max_us = max.as_micros().max(1);
+    SimDuration::from_micros(rng.gen_range(0..max_us) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_transparent_and_drawless() {
+        let mut inj = FaultInjector::new(FaultPlan::new(), 1);
+        let p = Point::new(0.0, 0.0);
+        for _ in 0..8 {
+            assert_eq!(
+                inj.frame_fate(SimTime::ZERO, 1000.0, NodeId(0), p, NodeId(1), p, true),
+                FrameFate::Deliver
+            );
+        }
+        // The RNG was never touched: a fresh injector's stream matches.
+        let fresh = FaultInjector::new(FaultPlan::new(), 1);
+        assert_eq!(
+            format!("{:?}", inj.rng),
+            format!("{:?}", fresh.rng),
+            "transparent plan must not consume randomness"
+        );
+    }
+
+    #[test]
+    fn full_drop_rule_drops_everything() {
+        let plan = FaultPlan::new().drop_frames(1.0);
+        let mut inj = FaultInjector::new(plan, 2);
+        let p = Point::new(1.0, 1.0);
+        assert_eq!(
+            inj.frame_fate(SimTime::ZERO, 1000.0, NodeId(0), p, NodeId(1), p, true),
+            FrameFate::Drop
+        );
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let from = SimTime::from_secs(10);
+        let until = SimTime::from_secs(20);
+        let plan = FaultPlan::new().drop_frames_between(1.0, from, until);
+        let mut inj = FaultInjector::new(plan, 3);
+        let p = Point::new(0.0, 0.0);
+        let fate = |inj: &mut FaultInjector, t| {
+            inj.frame_fate(t, 1000.0, NodeId(0), p, NodeId(1), p, false)
+        };
+        assert_eq!(fate(&mut inj, SimTime::from_secs(9)), FrameFate::Deliver);
+        assert_eq!(fate(&mut inj, from), FrameFate::Drop);
+        assert_eq!(fate(&mut inj, SimTime::from_secs(19)), FrameFate::Drop);
+        assert_eq!(fate(&mut inj, until), FrameFate::Deliver);
+    }
+
+    #[test]
+    fn partition_severs_only_crossing_links() {
+        let plan = FaultPlan::new().partition_vertical(0.5, SimTime::ZERO, SimTime::from_secs(100));
+        let mut inj = FaultInjector::new(plan, 4);
+        let west = Point::new(100.0, 0.0);
+        let east = Point::new(900.0, 0.0);
+        assert_eq!(
+            inj.frame_fate(
+                SimTime::ZERO,
+                1000.0,
+                NodeId(0),
+                west,
+                NodeId(1),
+                east,
+                true
+            ),
+            FrameFate::Drop
+        );
+        assert_eq!(
+            inj.frame_fate(
+                SimTime::ZERO,
+                1000.0,
+                NodeId(0),
+                west,
+                NodeId(2),
+                west,
+                true
+            ),
+            FrameFate::Deliver
+        );
+        // After the window the cut heals.
+        assert_eq!(
+            inj.frame_fate(
+                SimTime::from_secs(100),
+                1000.0,
+                NodeId(0),
+                west,
+                NodeId(1),
+                east,
+                true
+            ),
+            FrameFate::Deliver
+        );
+    }
+
+    #[test]
+    fn node_scope_matches_either_endpoint() {
+        let rule = FrameFaultRule {
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            scope: FaultScope::Node(NodeId(7)),
+            drop_prob: 1.0,
+            delay_prob: 0.0,
+            max_delay: SimDuration::ZERO,
+            duplicate_prob: 0.0,
+        };
+        let plan = FaultPlan::new().with_rule(rule);
+        let mut inj = FaultInjector::new(plan, 5);
+        let p = Point::new(0.0, 0.0);
+        assert_eq!(
+            inj.frame_fate(SimTime::ZERO, 1000.0, NodeId(7), p, NodeId(1), p, true),
+            FrameFate::Drop
+        );
+        assert_eq!(
+            inj.frame_fate(SimTime::ZERO, 1000.0, NodeId(1), p, NodeId(7), p, true),
+            FrameFate::Drop
+        );
+        assert_eq!(
+            inj.frame_fate(SimTime::ZERO, 1000.0, NodeId(1), p, NodeId(2), p, true),
+            FrameFate::Deliver
+        );
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::new()
+            .drop_frames(0.3)
+            .delay_data_frames(0.2, SimDuration::from_millis(5));
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan.clone(), seed);
+            let p = Point::new(0.0, 0.0);
+            (0..256)
+                .map(|i| {
+                    inj.frame_fate(
+                        SimTime::from_micros(i),
+                        1000.0,
+                        NodeId(0),
+                        p,
+                        NodeId(1),
+                        p,
+                        i % 3 != 0,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -155,9 +155,7 @@ impl SpatialGrid {
         let (x0, x1) = ((cx - reach).max(0), (cx + reach).min(cells - 1));
         let (y0, y1) = ((cy - reach).max(0), (cy + reach).min(cells - 1));
         (y0..=y1).flat_map(move |gy| {
-            (x0..=x1).flat_map(move |gx| {
-                self.buckets[(gy * cells + gx) as usize].iter().copied()
-            })
+            (x0..=x1).flat_map(move |gx| self.buckets[(gy * cells + gx) as usize].iter().copied())
         })
     }
 }

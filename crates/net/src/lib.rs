@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod faults;
 pub mod geometry;
 pub mod mac;
 pub mod mobility;
@@ -57,6 +58,7 @@ pub mod phy;
 mod stats;
 
 pub use config::{MacConfig, NetConfig, PathLoss, PhyConfig, ReceptionModel};
+pub use faults::{FaultInjector, FaultPlan, FaultScope, FrameFaultRule, NodeFaultEvent};
 pub use mac::MacDst;
 pub use mobility::MobilityModel;
 pub use network::{Network, Stack, Upcall};

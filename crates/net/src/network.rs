@@ -3,8 +3,9 @@
 //! (routing, quorum protocols) implement.
 
 use crate::config::NetConfig;
+use crate::faults::{FaultInjector, FaultPlan, FrameFate, NodeFaultEvent};
 use crate::geometry::{Point, SpatialGrid};
-use crate::mac::{FrameKind, Frame, MacDst, MacPhase, MacState};
+use crate::mac::{Frame, FrameKind, MacDst, MacPhase, MacState};
 use crate::mobility::{self, MobilityModel, Motion};
 use crate::phy::{Medium, TxId};
 use crate::stats::NetStats;
@@ -38,6 +39,10 @@ enum Event {
     Fail { node: NodeId },
     /// Churn: the node (re)joins.
     Join { node: NodeId },
+    /// Fault injection: deliver a previously delayed/duplicated frame.
+    DelayedFrame { key: u64 },
+    /// Fault injection: crash every alive node inside a disc.
+    RegionFail { x: f64, y: f64, radius_m: f64 },
 }
 
 /// Notifications delivered from the substrate to the upper layer.
@@ -132,6 +137,9 @@ pub struct Network<P> {
     mac_rng: StdRng,
     stats: NetStats,
     grid_slack_m: f64,
+    faults: Option<FaultInjector>,
+    delayed: HashMap<u64, Upcall<P>>,
+    next_delayed_id: u64,
 }
 
 impl<P: Clone> Network<P> {
@@ -162,13 +170,20 @@ impl<P: Clone> Network<P> {
                 placement_rng.gen::<f64>() * side,
                 placement_rng.gen::<f64>() * side,
             );
-            let motion =
-                mobility::initial_motion(config.mobility, p, side, SimTime::ZERO, &mut mobility_rng);
+            let motion = mobility::initial_motion(
+                config.mobility,
+                p,
+                side,
+                SimTime::ZERO,
+                &mut mobility_rng,
+            );
             grid.update(i as u32, p);
             if motion.next_transition() < SimTime::MAX {
                 scheduler.schedule_at(
                     motion.next_transition(),
-                    Event::MobilityLeg { node: NodeId(i as u32) },
+                    Event::MobilityLeg {
+                        node: NodeId(i as u32),
+                    },
                 );
             }
             nodes.push(NodeState {
@@ -184,7 +199,12 @@ impl<P: Clone> Network<P> {
         let mut hb_rng = rng::stream(config.seed, streams::MAC.wrapping_add(0x48_42)); // "HB"
         for i in 0..config.n {
             let offset = SimDuration::from_micros(hb_rng.gen_range(0..period.max(1)));
-            scheduler.schedule_at(SimTime::ZERO + offset, Event::Heartbeat { node: NodeId(i as u32) });
+            scheduler.schedule_at(
+                SimTime::ZERO + offset,
+                Event::Heartbeat {
+                    node: NodeId(i as u32),
+                },
+            );
         }
 
         if !config.mobility.is_static() {
@@ -204,6 +224,9 @@ impl<P: Clone> Network<P> {
             mac_rng,
             stats: NetStats::default(),
             grid_slack_m,
+            faults: None,
+            delayed: HashMap::new(),
+            next_delayed_id: 0,
             config,
         };
         if net.config.prepopulate_neighbors {
@@ -326,7 +349,8 @@ impl<P: Clone> Network<P> {
     /// Sets a timer for `node`; [`Upcall::Timer`] with `token` fires after
     /// `delay`. Returns an id usable with [`Network::cancel_timer`].
     pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) -> EventId {
-        self.scheduler.schedule_in(delay, Event::Timer { node, token })
+        self.scheduler
+            .schedule_in(delay, Event::Timer { node, token })
     }
 
     /// Cancels a pending timer. Returns `true` if it had not fired yet.
@@ -357,6 +381,59 @@ impl<P: Clone> Network<P> {
         self.macs.push(MacState::new(self.config.mac.cw_min));
         self.neighbors.push(HashMap::new());
         id
+    }
+
+    /// Installs a fault plan: schedules its node/region crash and
+    /// recovery events, and arms the frame-fault injector for all
+    /// subsequent deliveries. The injector draws from the dedicated
+    /// `FAULTS` RNG stream, so the same `(config.seed, plan)` pair
+    /// reproduces an identical fault trace.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        for event in plan.node_events() {
+            match *event {
+                NodeFaultEvent::Crash { node, at } => self.schedule_fail(node, at),
+                NodeFaultEvent::Recover { node, at } => self.schedule_join(node, at),
+                NodeFaultEvent::RegionCrash {
+                    center,
+                    radius_m,
+                    at,
+                } => {
+                    self.scheduler.schedule_at(
+                        at,
+                        Event::RegionFail {
+                            x: center.x,
+                            y: center.y,
+                            radius_m,
+                        },
+                    );
+                }
+            }
+        }
+        self.faults = Some(FaultInjector::new(plan, self.config.seed));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|inj| inj.plan())
+    }
+
+    /// Unicast data transmissions whose airtime has not yet elapsed.
+    /// Part of the conservation invariant's "in flight" term.
+    pub fn inflight_unicast_data(&self) -> u64 {
+        self.inflight
+            .values()
+            .filter(|inflight| {
+                matches!(
+                    (&inflight.frame.kind, inflight.frame.dst),
+                    (FrameKind::Data(_), MacDst::Unicast(_))
+                )
+            })
+            .count() as u64
+    }
+
+    /// Deliveries deferred by fault injection that have not fired yet.
+    pub fn pending_delayed_frames(&self) -> usize {
+        self.delayed.len()
     }
 
     /// Link-level statistics.
@@ -410,7 +487,9 @@ impl<P: Clone> Network<P> {
     // ------------------------------------------------------------------
 
     fn position_now(&self, node: NodeId) -> Point {
-        self.nodes[node.index()].motion.position(self.scheduler.now())
+        self.nodes[node.index()]
+            .motion
+            .position(self.scheduler.now())
     }
 
     fn schedule_attempt_for_head(&mut self, node: NodeId) {
@@ -461,7 +540,10 @@ impl<P: Clone> Network<P> {
             FrameKind::Data(_) => {
                 self.stats.data_tx += 1;
                 let rate = match frame.dst {
-                    MacDst::Unicast(_) => mac_cfg.unicast_rate_bps,
+                    MacDst::Unicast(_) => {
+                        self.stats.unicast_data_tx += 1;
+                        mac_cfg.unicast_rate_bps
+                    }
                     MacDst::Broadcast => mac_cfg.broadcast_rate_bps,
                 };
                 mac_cfg.frame_airtime(bytes, rate)
@@ -481,7 +563,13 @@ impl<P: Clone> Network<P> {
         let candidates = self.candidates_around(node, pos);
         self.medium
             .begin_tx(TxId(tx), node.0, pos, now + airtime, &candidates);
-        self.inflight.insert(tx, Inflight { sender: node, frame });
+        self.inflight.insert(
+            tx,
+            Inflight {
+                sender: node,
+                frame,
+            },
+        );
         self.scheduler.schedule_in(airtime, Event::PhyTxEnd { tx });
     }
 
@@ -503,6 +591,8 @@ impl<P: Clone> Network<P> {
             }
             Event::Fail { node } => self.on_fail(node),
             Event::Join { node } => self.on_join(node),
+            Event::DelayedFrame { key } => self.on_delayed_frame(key),
+            Event::RegionFail { x, y, radius_m } => self.on_region_fail(Point::new(x, y), radius_m),
         }
     }
 
@@ -516,8 +606,8 @@ impl<P: Clone> Network<P> {
             let now = self.scheduler.now();
             let idle_at = self.medium.busy_until(node.0, pos).unwrap_or(now).max(now);
             let mac_cfg = self.config.mac;
-            let backoff = mac_cfg.slot
-                * u64::from(self.macs[node.index()].draw_backoff(&mut self.mac_rng));
+            let backoff =
+                mac_cfg.slot * u64::from(self.macs[node.index()].draw_backoff(&mut self.mac_rng));
             let at = idle_at + mac_cfg.difs + backoff;
             self.scheduler.schedule_at(at, Event::MacAttempt { node });
             return Vec::new();
@@ -568,11 +658,41 @@ impl<P: Clone> Network<P> {
         };
         let decoded = self.medium.end_tx(TxId(tx));
         let mut upcalls = Vec::new();
+        let is_unicast_data = matches!(
+            (&frame.kind, frame.dst),
+            (FrameKind::Data(_), MacDst::Unicast(_))
+        );
+        // For the conservation invariant: did the intended unicast
+        // receiver's decode get accounted (accepted / duplicate /
+        // fault-dropped)? Anything else is a loss.
+        let mut intended_accounted = false;
 
         // Receiver side.
         for rx in decoded {
             let rx = NodeId(rx);
             if !self.is_alive(rx) {
+                continue;
+            }
+            // Fault injection sits between PHY decode and MAC reception:
+            // a dropped frame was decoded on air but never "seen", so no
+            // ACK is scheduled and the sender retries as it would after
+            // a collision.
+            let fate = match self.faults.as_mut() {
+                Some(injector) => {
+                    let now = self.scheduler.now();
+                    let sender_pos = self.nodes[sender.index()].motion.position(now);
+                    let rx_pos = self.nodes[rx.index()].motion.position(now);
+                    let is_data = matches!(frame.kind, FrameKind::Data(_));
+                    injector.frame_fate(now, self.side, frame.src, sender_pos, rx, rx_pos, is_data)
+                }
+                None => FrameFate::Deliver,
+            };
+            if fate == FrameFate::Drop {
+                self.stats.fault_dropped += 1;
+                if is_unicast_data && frame.dst == MacDst::Unicast(rx) {
+                    self.stats.unicast_fault_dropped += 1;
+                    intended_accounted = true;
+                }
                 continue;
             }
             match &frame.kind {
@@ -590,15 +710,17 @@ impl<P: Clone> Network<P> {
                 FrameKind::Data(payload) => match frame.dst {
                     MacDst::Broadcast => {
                         self.stats.delivered += 1;
-                        upcalls.push(Upcall::Frame {
+                        let up = Upcall::Frame {
                             at: rx,
                             from: frame.src,
                             dst: frame.dst,
                             payload: payload.clone(),
                             overheard: false,
-                        });
+                        };
+                        self.emit_data_upcall(&mut upcalls, fate, up);
                     }
                     MacDst::Unicast(dest) if dest == rx => {
+                        intended_accounted = true;
                         // ACK even duplicates; deliver only fresh frames.
                         self.scheduler.schedule_in(
                             self.config.mac.sifs,
@@ -610,13 +732,17 @@ impl<P: Clone> Network<P> {
                         );
                         if self.macs[rx.index()].accept_data(frame.src, frame.seq) {
                             self.stats.delivered += 1;
-                            upcalls.push(Upcall::Frame {
+                            self.stats.unicast_delivered += 1;
+                            let up = Upcall::Frame {
                                 at: rx,
                                 from: frame.src,
                                 dst: frame.dst,
                                 payload: payload.clone(),
                                 overheard: false,
-                            });
+                            };
+                            self.emit_data_upcall(&mut upcalls, fate, up);
+                        } else {
+                            self.stats.unicast_dup_discarded += 1;
                         }
                     }
                     MacDst::Unicast(_) => {
@@ -632,6 +758,9 @@ impl<P: Clone> Network<P> {
                     }
                 },
             }
+        }
+        if is_unicast_data && !intended_accounted {
+            self.stats.unicast_lost += 1;
         }
 
         // Sender side. The phase guard protects against the (churn-only)
@@ -671,6 +800,62 @@ impl<P: Clone> Network<P> {
                     // Fire-and-forget; the data path owns the MAC phase.
                 }
             }
+        }
+        upcalls
+    }
+
+    /// Pushes a data-frame upcall, honouring an injected delay or
+    /// duplication fate. (`Drop` never reaches here; it is handled
+    /// before MAC reception.)
+    fn emit_data_upcall(&mut self, upcalls: &mut Vec<Upcall<P>>, fate: FrameFate, up: Upcall<P>) {
+        match fate {
+            FrameFate::Deliver | FrameFate::Drop => upcalls.push(up),
+            FrameFate::Delay(extra) => {
+                self.stats.fault_delayed += 1;
+                self.stash_delayed(up, extra);
+            }
+            FrameFate::Duplicate(extra) => {
+                self.stats.fault_duplicated += 1;
+                self.stash_delayed(up.clone(), extra);
+                upcalls.push(up);
+            }
+        }
+    }
+
+    fn stash_delayed(&mut self, up: Upcall<P>, extra: SimDuration) {
+        let key = self.next_delayed_id;
+        self.next_delayed_id += 1;
+        self.delayed.insert(key, up);
+        self.scheduler
+            .schedule_in(extra, Event::DelayedFrame { key });
+    }
+
+    fn on_delayed_frame(&mut self, key: u64) -> Vec<Upcall<P>> {
+        let Some(up) = self.delayed.remove(&key) else {
+            return Vec::new();
+        };
+        // A receiver that crashed while the frame sat in the fault queue
+        // never sees it.
+        if let Upcall::Frame { at, .. } = &up {
+            if !self.is_alive(*at) {
+                return Vec::new();
+            }
+        }
+        vec![up]
+    }
+
+    fn on_region_fail(&mut self, center: Point, radius_m: f64) -> Vec<Upcall<P>> {
+        let now = self.scheduler.now();
+        let victims: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| {
+                self.nodes[i].alive
+                    && self.nodes[i].motion.position(now).distance(center) <= radius_m
+            })
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let mut upcalls = Vec::new();
+        for victim in victims {
+            upcalls.extend(self.on_fail(victim));
         }
         upcalls
     }
@@ -764,7 +949,8 @@ impl<P: Clone> Network<P> {
         );
         let next = motion.next_transition();
         self.nodes[node.index()].motion = motion;
-        self.scheduler.schedule_at(next, Event::MobilityLeg { node });
+        self.scheduler
+            .schedule_at(next, Event::MobilityLeg { node });
         Vec::new()
     }
 
@@ -818,7 +1004,8 @@ impl<P: Clone> Network<P> {
             placement_rng.gen::<f64>() * self.side,
             placement_rng.gen::<f64>() * self.side,
         );
-        let motion = mobility::initial_motion(self.config.mobility, p, self.side, now, &mut placement_rng);
+        let motion =
+            mobility::initial_motion(self.config.mobility, p, self.side, now, &mut placement_rng);
         if motion.next_transition() < SimTime::MAX {
             self.scheduler
                 .schedule_at(motion.next_transition(), Event::MobilityLeg { node });
@@ -827,7 +1014,8 @@ impl<P: Clone> Network<P> {
         self.nodes[node.index()].alive = true;
         self.grid.update(node.0, p);
         // Announce immediately, then on the regular cycle.
-        self.scheduler.schedule_in(SimDuration::ZERO, Event::Heartbeat { node });
+        self.scheduler
+            .schedule_in(SimDuration::ZERO, Event::Heartbeat { node });
         vec![Upcall::NodeJoined { node }]
     }
 }

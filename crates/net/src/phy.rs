@@ -378,7 +378,10 @@ mod tests {
         // Second sender equally far: SINR ≈ 0 dB < 10 dB.
         tx(&mut m, 2, 1, Point::new(200.0, 0.0), &[rx]);
         assert!(m.end_tx(TxId(1)).is_empty(), "first frame corrupted");
-        assert!(m.end_tx(TxId(2)).is_empty(), "receiver was locked on frame 1");
+        assert!(
+            m.end_tx(TxId(2)).is_empty(),
+            "receiver was locked on frame 1"
+        );
     }
 
     #[test]
@@ -411,8 +414,14 @@ mod tests {
         assert!(!m.channel_busy(5, origin));
         tx(&mut m, 1, 0, origin, &[]);
         assert!(m.channel_busy(5, Point::new(250.0, 0.0)), "within CS range");
-        assert!(!m.channel_busy(5, Point::new(400.0, 0.0)), "beyond CS range");
-        assert!(m.channel_busy(0, Point::new(5000.0, 0.0)), "own tx always sensed");
+        assert!(
+            !m.channel_busy(5, Point::new(400.0, 0.0)),
+            "beyond CS range"
+        );
+        assert!(
+            m.channel_busy(0, Point::new(5000.0, 0.0)),
+            "own tx always sensed"
+        );
         assert_eq!(
             m.busy_until(5, Point::new(250.0, 0.0)),
             Some(SimTime::from_millis(1))

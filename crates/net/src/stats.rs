@@ -24,6 +24,30 @@ pub struct NetStats {
     pub mac_failures: u64,
     /// MAC retransmission attempts (retries only, not first attempts).
     pub mac_retries: u64,
+    /// Receptions suppressed by injected drops or partitions (all frame
+    /// kinds, counted per suppressed receiver).
+    pub fault_dropped: u64,
+    /// Data deliveries deferred by injected delay.
+    pub fault_delayed: u64,
+    /// Extra data deliveries created by injected duplication.
+    pub fault_duplicated: u64,
+    /// Unicast data PHY transmissions (including MAC retries). Together
+    /// with the four counters below this supports the conservation
+    /// invariant: every unicast data transmission is accepted, discarded
+    /// as a duplicate, fault-dropped, lost, or still in flight.
+    pub unicast_data_tx: u64,
+    /// Unicast data frames the intended receiver decoded and the MAC
+    /// accepted for delivery (fresh, not duplicates).
+    pub unicast_delivered: u64,
+    /// Unicast data frames decoded but discarded as MAC-level duplicates
+    /// (a retry of an already-accepted frame).
+    pub unicast_dup_discarded: u64,
+    /// Unicast data frames the intended receiver decoded but fault
+    /// injection suppressed.
+    pub unicast_fault_dropped: u64,
+    /// Unicast data frames the intended receiver never decoded
+    /// (collision, SINR, out of range, or receiver down).
+    pub unicast_lost: u64,
 }
 
 impl NetStats {
@@ -36,6 +60,14 @@ impl NetStats {
         self.delivered += other.delivered;
         self.mac_failures += other.mac_failures;
         self.mac_retries += other.mac_retries;
+        self.fault_dropped += other.fault_dropped;
+        self.fault_delayed += other.fault_delayed;
+        self.fault_duplicated += other.fault_duplicated;
+        self.unicast_data_tx += other.unicast_data_tx;
+        self.unicast_delivered += other.unicast_delivered;
+        self.unicast_dup_discarded += other.unicast_dup_discarded;
+        self.unicast_fault_dropped += other.unicast_fault_dropped;
+        self.unicast_lost += other.unicast_lost;
     }
 }
 
@@ -53,6 +85,14 @@ mod tests {
             delivered: 5,
             mac_failures: 6,
             mac_retries: 7,
+            fault_dropped: 8,
+            fault_delayed: 9,
+            fault_duplicated: 10,
+            unicast_data_tx: 11,
+            unicast_delivered: 12,
+            unicast_dup_discarded: 13,
+            unicast_fault_dropped: 14,
+            unicast_lost: 15,
         };
         a.merge(&a.clone());
         assert_eq!(a.phy_tx, 2);

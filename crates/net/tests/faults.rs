@@ -1,0 +1,308 @@
+//! End-to-end tests of the deterministic fault-injection subsystem:
+//! the unicast conservation invariant, determinism, transparency of the
+//! empty plan, partitions, timed crashes and delay/duplicate faults.
+
+use pqs_net::geometry::Point;
+use pqs_net::{FaultPlan, MacDst, MobilityModel, NetConfig, Network, NodeId, Stack, Upcall};
+use pqs_sim::{SimDuration, SimTime};
+
+/// Counts upcalls without reacting to them.
+#[derive(Default)]
+struct Counter {
+    frames: Vec<(NodeId, NodeId)>,
+    results: Vec<(NodeId, u64, bool)>,
+    failed: Vec<NodeId>,
+    joined: Vec<NodeId>,
+}
+
+impl Stack<String> for Counter {
+    fn on_upcall(&mut self, _net: &mut Network<String>, up: Upcall<String>) {
+        match up {
+            Upcall::Frame { at, from, .. } => self.frames.push((at, from)),
+            Upcall::SendResult { node, token, ok } => self.results.push((node, token, ok)),
+            Upcall::NodeFailed { node } => self.failed.push(node),
+            Upcall::NodeJoined { node } => self.joined.push(node),
+            Upcall::Timer { .. } => {}
+        }
+    }
+}
+
+fn static_config(n: usize, seed: u64) -> NetConfig {
+    let mut cfg = NetConfig::paper(n);
+    cfg.mobility = MobilityModel::Static;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Drives a mixed unicast workload (neighbour and far pairs, some dead
+/// receivers) and returns the network for counter inspection.
+fn drive_unicasts(mut net: Network<String>) -> Network<String> {
+    let mut stack = Counter::default();
+    let nodes = net.alive_nodes();
+    // Crash a couple of receivers mid-run so in-flight frames find a
+    // dead destination (exercises `unicast_lost`).
+    net.schedule_fail(nodes[3], SimTime::from_secs(4));
+    net.schedule_fail(nodes[7], SimTime::from_secs(6));
+    let mut token = 0u64;
+    for step in 0..40u64 {
+        net.run(&mut stack, SimTime::from_millis(250 * step));
+        let from = nodes[(step as usize * 7) % nodes.len()];
+        if !net.is_alive(from) {
+            continue;
+        }
+        // Alternate between a neighbour (mostly deliverable) and an
+        // arbitrary node (often unreachable).
+        let to = if step % 2 == 0 {
+            net.neighbors(from).first().copied()
+        } else {
+            Some(nodes[(step as usize * 13 + 1) % nodes.len()])
+        };
+        if let Some(to) = to.filter(|&t| t != from) {
+            token += 1;
+            net.send(from, MacDst::Unicast(to), format!("m{token}"), token);
+        }
+    }
+    net.run(&mut stack, SimTime::from_secs(30));
+    net
+}
+
+fn assert_conserved(net: &Network<String>, label: &str) {
+    let s = net.stats();
+    let accounted = s.unicast_delivered
+        + s.unicast_dup_discarded
+        + s.unicast_fault_dropped
+        + s.unicast_lost
+        + net.inflight_unicast_data();
+    assert_eq!(
+        s.unicast_data_tx,
+        accounted,
+        "{label}: tx {} != delivered {} + dup {} + fault {} + lost {} + inflight {}",
+        s.unicast_data_tx,
+        s.unicast_delivered,
+        s.unicast_dup_discarded,
+        s.unicast_fault_dropped,
+        s.unicast_lost,
+        net.inflight_unicast_data()
+    );
+}
+
+#[test]
+fn unicast_conservation_across_seeds_and_plans() {
+    let plans: Vec<(&str, Option<FaultPlan>)> = vec![
+        ("no plan", None),
+        ("empty plan", Some(FaultPlan::new())),
+        ("30% drops", Some(FaultPlan::new().drop_frames(0.3))),
+        ("total blackout", Some(FaultPlan::new().drop_frames(1.0))),
+        (
+            "delay+duplicate",
+            Some(
+                FaultPlan::new()
+                    .delay_data_frames(0.5, SimDuration::from_millis(40))
+                    .duplicate_data_frames(0.3),
+            ),
+        ),
+        (
+            "partition window",
+            Some(FaultPlan::new().partition_vertical(
+                0.5,
+                SimTime::from_secs(2),
+                SimTime::from_secs(8),
+            )),
+        ),
+    ];
+    for seed in [1, 2, 3] {
+        for (label, plan) in &plans {
+            let mut net = Network::new(static_config(50, seed));
+            if let Some(plan) = plan {
+                net.install_faults(plan.clone());
+            }
+            let net = drive_unicasts(net);
+            assert_conserved(&net, &format!("seed {seed}, {label}"));
+            // Sanity: the workload actually produced unicast data.
+            assert!(net.stats().unicast_data_tx > 0, "{label}: no traffic");
+        }
+    }
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_no_plan() {
+    let run = |install_empty: bool| {
+        let mut net = Network::new(static_config(50, 77));
+        if install_empty {
+            net.install_faults(FaultPlan::new());
+        }
+        let net = drive_unicasts(net);
+        format!("{:?}", net.stats())
+    };
+    assert_eq!(run(false), run(true), "empty plan must draw no randomness");
+}
+
+#[test]
+fn same_seed_and_plan_give_identical_traces() {
+    let run = |seed: u64| {
+        let plan = FaultPlan::new()
+            .drop_frames(0.25)
+            .delay_data_frames(0.2, SimDuration::from_millis(30))
+            .duplicate_data_frames(0.1)
+            .partition_vertical(0.4, SimTime::from_secs(3), SimTime::from_secs(6));
+        let mut net = Network::new(static_config(60, seed));
+        net.install_faults(plan);
+        let mut stack = Counter::default();
+        let (a, b) = {
+            let nodes = net.alive_nodes();
+            let a = nodes
+                .iter()
+                .copied()
+                .find(|&n| !net.neighbors(n).is_empty())
+                .expect("connected node");
+            (a, net.neighbors(a)[0])
+        };
+        for t in 0..20u64 {
+            net.run(&mut stack, SimTime::from_millis(400 * t));
+            net.send(a, MacDst::Unicast(b), "ping".into(), t);
+        }
+        net.run(&mut stack, SimTime::from_secs(20));
+        (format!("{:?}", net.stats()), stack.frames, stack.results)
+    };
+    assert_eq!(run(5), run(5), "same seed + plan, same byte-level trace");
+    assert_ne!(run(5).0, run(6).0, "different seeds diverge");
+}
+
+#[test]
+fn partition_severs_cross_boundary_links_only() {
+    let mut net: Network<String> = Network::new(static_config(80, 21));
+    let side = net.side_m();
+    let boundary = 0.5 * side;
+    let range = net.config().phy.ideal_range_m;
+    // A neighbour pair straddling the boundary, and one on a single side.
+    let nodes = net.alive_nodes();
+    let crossing = nodes
+        .iter()
+        .flat_map(|&x| net.neighbors(x).into_iter().map(move |y| (x, y)))
+        .find(|&(x, y)| {
+            let (px, py) = (net.position(x), net.position(y));
+            (px.x < boundary) != (py.x < boundary) && px.distance(py) <= range
+        })
+        .expect("some crossing neighbour pair");
+    let same_side = nodes
+        .iter()
+        .flat_map(|&x| net.neighbors(x).into_iter().map(move |y| (x, y)))
+        .find(|&(x, y)| {
+            let (px, py) = (net.position(x), net.position(y));
+            (px.x < boundary) == (py.x < boundary) && px.distance(py) <= range
+        })
+        .expect("some same-side neighbour pair");
+    net.install_faults(FaultPlan::new().partition_vertical(
+        0.5,
+        SimTime::ZERO,
+        SimTime::from_secs(3_600),
+    ));
+    let mut stack = Counter::default();
+    net.send(crossing.0, MacDst::Unicast(crossing.1), "cross".into(), 1);
+    net.send(same_side.0, MacDst::Unicast(same_side.1), "local".into(), 2);
+    net.run(&mut stack, SimTime::from_secs(10));
+    assert!(
+        stack.results.contains(&(crossing.0, 1, false)),
+        "cross-partition unicast must fail: {:?}",
+        stack.results
+    );
+    assert!(
+        stack.results.contains(&(same_side.0, 2, true)),
+        "same-side unicast must survive: {:?}",
+        stack.results
+    );
+    assert!(net.stats().fault_dropped > 0, "partition drops are counted");
+}
+
+#[test]
+fn timed_crashes_and_region_crashes_fire() {
+    let mut net: Network<String> = Network::new(static_config(60, 22));
+    let nodes = net.alive_nodes();
+    let victim = nodes[4];
+    let epicentre = net.position(nodes[10]);
+    let n0 = nodes.len();
+    net.install_faults(
+        FaultPlan::new()
+            .crash_at(victim, SimTime::from_secs(2))
+            .recover_at(victim, SimTime::from_secs(20))
+            .crash_region(
+                Point::new(epicentre.x, epicentre.y),
+                150.0,
+                SimTime::from_secs(5),
+            ),
+    );
+    let mut stack = Counter::default();
+    net.run(&mut stack, SimTime::from_secs(3));
+    assert!(!net.is_alive(victim), "scheduled crash fired");
+    net.run(&mut stack, SimTime::from_secs(10));
+    let after_region = net.alive_nodes().len();
+    assert!(
+        after_region < n0 - 1,
+        "region crash killed nobody: {after_region} of {n0}"
+    );
+    for &n in &net.alive_nodes() {
+        assert!(
+            net.position(n).distance(epicentre) > 150.0 || n == victim,
+            "node {n} inside the crash region survived"
+        );
+    }
+    net.run(&mut stack, SimTime::from_secs(25));
+    assert!(net.is_alive(victim), "scheduled recovery fired");
+    assert!(stack.failed.len() >= 2 && stack.joined.contains(&victim));
+}
+
+#[test]
+fn delays_defer_but_still_deliver_and_duplicates_are_extra() {
+    // Delay every data frame: the unicast still arrives (late), exactly
+    // once at the MAC accounting level.
+    let mut net: Network<String> = Network::new(static_config(50, 23));
+    net.install_faults(FaultPlan::new().delay_data_frames(1.0, SimDuration::from_millis(80)));
+    let nodes = net.alive_nodes();
+    let a = nodes
+        .iter()
+        .copied()
+        .find(|&n| !net.neighbors(n).is_empty())
+        .expect("connected node");
+    let b = net.neighbors(a)[0];
+    let mut stack = Counter::default();
+    net.send(a, MacDst::Unicast(b), "slow".into(), 1);
+    net.run(&mut stack, SimTime::from_secs(5));
+    assert!(net.stats().fault_delayed >= 1, "delay fault must trigger");
+    assert_eq!(
+        stack
+            .frames
+            .iter()
+            .filter(|&&(at, from)| at == b && from == a)
+            .count(),
+        1,
+        "delayed frame arrives exactly once"
+    );
+    assert_eq!(net.stats().unicast_delivered, 1);
+
+    // Duplicate every data frame: the application sees the frame at
+    // least twice, but conservation counts the extra copy separately.
+    let mut net: Network<String> = Network::new(static_config(50, 23));
+    net.install_faults(FaultPlan::new().duplicate_data_frames(1.0));
+    let mut stack = Counter::default();
+    net.send(a, MacDst::Unicast(b), "twice".into(), 1);
+    net.run(&mut stack, SimTime::from_secs(5));
+    assert!(
+        net.stats().fault_duplicated >= 1,
+        "duplicate fault must trigger"
+    );
+    assert!(
+        stack
+            .frames
+            .iter()
+            .filter(|&&(at, from)| at == b && from == a)
+            .count()
+            >= 2,
+        "duplicate creates an extra application delivery"
+    );
+    assert_eq!(
+        net.stats().unicast_delivered,
+        1,
+        "duplicates never inflate the delivered counter"
+    );
+    assert_conserved(&net, "duplicate plan");
+}

@@ -1,11 +1,11 @@
 //! Property-based tests for geometry, power math and the PHY.
 
-use proptest::prelude::*;
 use pqs_net::config::{dbm_to_mw, mw_to_dbm};
 use pqs_net::geometry::{Point, SpatialGrid};
 use pqs_net::phy::{received_power_dbm, Medium, TxId};
 use pqs_net::{PathLoss, PhyConfig};
 use pqs_sim::SimTime;
+use proptest::prelude::*;
 
 proptest! {
     /// dBm ↔ mW conversions are inverse of each other.

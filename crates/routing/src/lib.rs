@@ -33,7 +33,7 @@ mod router;
 mod table;
 
 pub use router::{
-    CONTROL_BYTES, DATA_HEADER_BYTES,
-    RoutePacket, Router, RouterConfig, RouterEvent, RoutingStats, TransitHandle, ROUTER_TOKEN_BIT,
+    RoutePacket, Router, RouterConfig, RouterEvent, RoutingStats, TransitHandle, CONTROL_BYTES,
+    DATA_HEADER_BYTES, ROUTER_TOKEN_BIT,
 };
 pub use table::{Route, RouteTable};

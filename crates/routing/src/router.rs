@@ -389,7 +389,15 @@ impl<P: Clone> Router<P> {
         let route = self.nodes[node.index()].table.lookup(dst, now).copied();
         match route {
             Some(route) => {
-                self.transmit_data(net, node, dst, payload, Some(app_token), route.next_hop, max_ttl);
+                self.transmit_data(
+                    net,
+                    node,
+                    dst,
+                    payload,
+                    Some(app_token),
+                    route.next_hop,
+                    max_ttl,
+                );
                 Vec::new()
             }
             None => {
@@ -420,9 +428,16 @@ impl<P: Clone> Router<P> {
             0,
             "application tokens must not use the router token bit"
         );
-        net.send_sized(node, dst, RoutePacket::OneHop(payload), link_token, wire_bytes)
+        net.send_sized(
+            node,
+            dst,
+            RoutePacket::OneHop(payload),
+            link_token,
+            wire_bytes,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn transmit_data(
         &mut self,
         net: &mut Network<RoutePacket<P>>,
@@ -640,7 +655,9 @@ impl<P: Clone> Router<P> {
                     payload: p,
                     overheard: true,
                 }],
-                RoutePacket::Data { src, dst, payload, .. } if dst != at => {
+                RoutePacket::Data {
+                    src, dst, payload, ..
+                } if dst != at => {
                     // Overhearing routed data also surfaces the payload.
                     vec![RouterEvent::OneHop {
                         node: at,
@@ -670,7 +687,9 @@ impl<P: Clone> Router<P> {
                 ttl,
                 dst,
                 dst_seq,
-            } => self.on_rreq(net, at, from, id, origin, origin_seq, hops, ttl, dst, dst_seq),
+            } => self.on_rreq(
+                net, at, from, id, origin, origin_seq, hops, ttl, dst, dst_seq,
+            ),
             RoutePacket::Rrep {
                 target,
                 origin,
@@ -754,6 +773,7 @@ impl<P: Clone> Router<P> {
         Vec::new()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_rrep(
         &mut self,
         net: &mut Network<RoutePacket<P>>,
@@ -780,6 +800,7 @@ impl<P: Clone> Router<P> {
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_rrep(
         &mut self,
         net: &mut Network<RoutePacket<P>>,
@@ -1036,7 +1057,15 @@ impl<P: Clone> Router<P> {
         if let Some(route) = self.nodes[node.index()].table.lookup(dst, now).copied() {
             if let Some(d) = self.pending.remove(&(node, dst)) {
                 for (payload, app_token) in d.buffered {
-                    self.transmit_data(net, node, dst, payload, Some(app_token), route.next_hop, d.max_ttl);
+                    self.transmit_data(
+                        net,
+                        node,
+                        dst,
+                        payload,
+                        Some(app_token),
+                        route.next_hop,
+                        d.max_ttl,
+                    );
                 }
             }
             return Vec::new();

@@ -49,9 +49,7 @@ impl RouteTable {
 
     /// Returns the valid, unexpired route to `dst`, if any.
     pub fn lookup(&self, dst: NodeId, now: SimTime) -> Option<&Route> {
-        self.routes
-            .get(&dst)
-            .filter(|r| r.valid && r.expires > now)
+        self.routes.get(&dst).filter(|r| r.valid && r.expires > now)
     }
 
     /// Returns the entry regardless of validity (for sequence numbers).
@@ -176,13 +174,23 @@ mod tests {
         assert!(t.update(NodeId(1), NodeId(3), 1, 5, FAR, SimTime::ZERO));
         // Fresher seq accepted even with more hops.
         assert!(t.update(NodeId(1), NodeId(4), 9, 6, FAR, SimTime::ZERO));
-        assert_eq!(t.lookup(NodeId(1), SimTime::ZERO).unwrap().next_hop, NodeId(4));
+        assert_eq!(
+            t.lookup(NodeId(1), SimTime::ZERO).unwrap().next_hop,
+            NodeId(4)
+        );
     }
 
     #[test]
     fn expiry() {
         let mut t = RouteTable::new();
-        t.update(NodeId(1), NodeId(2), 2, 5, SimTime::from_secs(10), SimTime::ZERO);
+        t.update(
+            NodeId(1),
+            NodeId(2),
+            2,
+            5,
+            SimTime::from_secs(10),
+            SimTime::ZERO,
+        );
         assert!(t.lookup(NodeId(1), SimTime::from_secs(9)).is_some());
         assert!(t.lookup(NodeId(1), SimTime::from_secs(10)).is_none());
         // An expired entry can be replaced by anything.
@@ -192,7 +200,14 @@ mod tests {
     #[test]
     fn refresh_extends_lifetime() {
         let mut t = RouteTable::new();
-        t.update(NodeId(1), NodeId(2), 2, 5, SimTime::from_secs(10), SimTime::ZERO);
+        t.update(
+            NodeId(1),
+            NodeId(2),
+            2,
+            5,
+            SimTime::from_secs(10),
+            SimTime::ZERO,
+        );
         t.refresh(NodeId(1), SimTime::from_secs(50));
         assert!(t.lookup(NodeId(1), SimTime::from_secs(30)).is_some());
         // Refresh never shortens.
@@ -211,7 +226,10 @@ mod tests {
         assert!(t.lookup(NodeId(1), SimTime::ZERO).is_none());
         let broken = t.invalidate_via(NodeId(2));
         assert_eq!(broken, vec![(NodeId(3), 2)]);
-        assert!(t.lookup(NodeId(4), SimTime::ZERO).is_some(), "other next hop kept");
+        assert!(
+            t.lookup(NodeId(4), SimTime::ZERO).is_some(),
+            "other next hop kept"
+        );
     }
 
     #[test]

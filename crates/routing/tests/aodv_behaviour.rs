@@ -35,13 +35,14 @@ impl RoutedStack {
                 RouterEvent::Delivered { node, src, payload } => {
                     self.delivered.push((node, src, payload))
                 }
-                RouterEvent::SendDone { node, token, ok } => {
-                    self.send_done.push((node, token, ok))
-                }
+                RouterEvent::SendDone { node, token, ok } => self.send_done.push((node, token, ok)),
                 RouterEvent::RouteBroken { node, dst } => self.route_broken.push((node, dst)),
-                RouterEvent::OneHop { node, from, payload, .. } => {
-                    self.one_hop.push((node, from, payload))
-                }
+                RouterEvent::OneHop {
+                    node,
+                    from,
+                    payload,
+                    ..
+                } => self.one_hop.push((node, from, payload)),
                 RouterEvent::Transit { handle, .. } => {
                     self.transits += 1;
                     let more = self.router.forward_transit(net, handle);
@@ -95,7 +96,9 @@ fn multi_hop_delivery() {
     let (src, dst, hops) = distant_pair(&net, 3);
     assert!(hops >= 3);
     let mut stack = RoutedStack::new(100, RouterConfig::default());
-    let events = stack.router.send_data(&mut net, src, dst, "across".into(), 1, None);
+    let events = stack
+        .router
+        .send_data(&mut net, src, dst, "across".into(), 1, None);
     assert!(events.is_empty(), "multi-hop send is asynchronous");
     net.run(&mut stack, SimTime::from_secs(20));
     assert_eq!(stack.delivered, vec![(dst, src, "across".to_string())]);
@@ -116,11 +119,15 @@ fn route_reuse_avoids_second_discovery() {
     let mut net = static_net(100, 22);
     let (src, dst, _) = distant_pair(&net, 3);
     let mut stack = RoutedStack::new(100, RouterConfig::default());
-    stack.router.send_data(&mut net, src, dst, "first".into(), 1, None);
+    stack
+        .router
+        .send_data(&mut net, src, dst, "first".into(), 1, None);
     net.run(&mut stack, SimTime::from_secs(20));
     let rreq_after_first = stack.router.stats().rreq_tx;
     assert!(stack.router.has_route(src, dst, net.now()), "route cached");
-    stack.router.send_data(&mut net, src, dst, "second".into(), 2, None);
+    stack
+        .router
+        .send_data(&mut net, src, dst, "second".into(), 2, None);
     net.run(&mut stack, SimTime::from_secs(40));
     assert_eq!(
         stack.router.stats().rreq_tx,
@@ -135,7 +142,9 @@ fn self_delivery_is_immediate() {
     let mut net = static_net(30, 23);
     let a = net.alive_nodes()[0];
     let mut stack = RoutedStack::new(30, RouterConfig::default());
-    let events = stack.router.send_data(&mut net, a, a, "self".into(), 5, None);
+    let events = stack
+        .router
+        .send_data(&mut net, a, a, "self".into(), 5, None);
     stack.dispatch(&mut net, events);
     assert_eq!(stack.delivered, vec![(a, a, "self".to_string())]);
     assert_eq!(stack.send_done, vec![(a, 5, true)]);
@@ -149,7 +158,9 @@ fn discovery_to_dead_node_fails() {
     net.schedule_fail(dst, SimTime::from_millis(1));
     let mut stack = RoutedStack::new(80, RouterConfig::default());
     net.run(&mut stack, SimTime::from_millis(10));
-    stack.router.send_data(&mut net, src, dst, "void".into(), 9, None);
+    stack
+        .router
+        .send_data(&mut net, src, dst, "void".into(), 9, None);
     net.run(&mut stack, SimTime::from_secs(60));
     assert_eq!(stack.send_done, vec![(src, 9, false)], "discovery gave up");
     assert!(stack.delivered.is_empty());
@@ -163,7 +174,9 @@ fn scoped_discovery_respects_ttl() {
     assert!(hops >= 5);
     let mut stack = RoutedStack::new(100, RouterConfig::default());
     // A TTL-3 scoped search cannot reach a 5-hop-away destination.
-    stack.router.send_data(&mut net, src, far, "scoped".into(), 4, Some(3));
+    stack
+        .router
+        .send_data(&mut net, src, far, "scoped".into(), 4, Some(3));
     net.run(&mut stack, SimTime::from_secs(20));
     assert_eq!(stack.send_done, vec![(src, 4, false)]);
     assert!(stack.delivered.is_empty());
@@ -186,7 +199,9 @@ fn scoped_discovery_finds_near_destination() {
         })
         .expect("2-hop pair exists");
     let mut stack = RoutedStack::new(100, RouterConfig::default());
-    stack.router.send_data(&mut net, src, dst, "near".into(), 6, Some(3));
+    stack
+        .router
+        .send_data(&mut net, src, dst, "near".into(), 6, Some(3));
     net.run(&mut stack, SimTime::from_secs(10));
     assert_eq!(stack.delivered, vec![(dst, src, "near".to_string())]);
     assert_eq!(stack.send_done, vec![(src, 6, true)]);
@@ -198,12 +213,21 @@ fn one_hop_traffic_bypasses_routing() {
     let a = net.alive_nodes()[0];
     let nbr = net.neighbors(a)[0];
     let mut stack = RoutedStack::new(50, RouterConfig::default());
-    stack
-        .router
-        .send_one_hop(&mut net, a, pqs_net::MacDst::Unicast(nbr), "raw".into(), 3, 64);
+    stack.router.send_one_hop(
+        &mut net,
+        a,
+        pqs_net::MacDst::Unicast(nbr),
+        "raw".into(),
+        3,
+        64,
+    );
     net.run(&mut stack, SimTime::from_secs(2));
     assert_eq!(stack.one_hop, vec![(nbr, a, "raw".to_string())]);
-    assert_eq!(stack.router.stats().data_tx, 0, "not counted as routed data");
+    assert_eq!(
+        stack.router.stats().data_tx,
+        0,
+        "not counted as routed data"
+    );
 }
 
 #[test]
@@ -215,7 +239,9 @@ fn transit_tap_sees_intermediate_hops() {
         ..RouterConfig::default()
     };
     let mut stack = RoutedStack::new(100, cfg);
-    stack.router.send_data(&mut net, src, dst, "tapped".into(), 1, None);
+    stack
+        .router
+        .send_data(&mut net, src, dst, "tapped".into(), 1, None);
     net.run(&mut stack, SimTime::from_secs(20));
     assert_eq!(stack.delivered.len(), 1);
     assert!(
@@ -231,13 +257,17 @@ fn link_break_triggers_rerr_and_notification() {
     let mut net = static_net(100, 29);
     let (src, dst, _) = distant_pair(&net, 3);
     let mut stack = RoutedStack::new(100, RouterConfig::default());
-    stack.router.send_data(&mut net, src, dst, "a".into(), 1, None);
+    stack
+        .router
+        .send_data(&mut net, src, dst, "a".into(), 1, None);
     net.run(&mut stack, SimTime::from_secs(20));
     assert_eq!(stack.delivered.len(), 1);
     // Kill the destination, then send again over the (stale) cached route.
     net.schedule_fail(dst, net.now() + pqs_sim::SimDuration::from_millis(1));
     net.run(&mut stack, SimTime::from_secs(21));
-    stack.router.send_data(&mut net, src, dst, "b".into(), 2, None);
+    stack
+        .router
+        .send_data(&mut net, src, dst, "b".into(), 2, None);
     net.run(&mut stack, SimTime::from_secs(120));
     // The send must eventually fail (either first-hop break if adjacent,
     // or a rediscovery that cannot complete after the drop is noticed).
@@ -257,7 +287,9 @@ fn deterministic_routing_given_seed() {
         let mut net = static_net(80, seed);
         let (src, dst, _) = distant_pair(&net, 3);
         let mut stack = RoutedStack::new(80, RouterConfig::default());
-        stack.router.send_data(&mut net, src, dst, "d".into(), 1, None);
+        stack
+            .router
+            .send_data(&mut net, src, dst, "d".into(), 1, None);
         net.run(&mut stack, SimTime::from_secs(20));
         (*stack.router.stats(), stack.delivered.len())
     };

@@ -1,22 +1,40 @@
 //! Property-based tests for the AODV route table.
 
-use proptest::prelude::*;
 use pqs_net::NodeId;
 use pqs_routing::RouteTable;
 use pqs_sim::SimTime;
+use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Update { dst: u32, next: u32, hops: u8, seq: u32, ttl_s: u64 },
-    Invalidate { dst: u32 },
-    InvalidateVia { next: u32 },
-    Advance { by_s: u64 },
+    Update {
+        dst: u32,
+        next: u32,
+        hops: u8,
+        seq: u32,
+        ttl_s: u64,
+    },
+    Invalidate {
+        dst: u32,
+    },
+    InvalidateVia {
+        next: u32,
+    },
+    Advance {
+        by_s: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u32..8, 0u32..8, 1u8..10, 0u32..50, 1u64..100).prop_map(
-            |(dst, next, hops, seq, ttl_s)| Op::Update { dst, next, hops, seq, ttl_s }
+            |(dst, next, hops, seq, ttl_s)| Op::Update {
+                dst,
+                next,
+                hops,
+                seq,
+                ttl_s
+            }
         ),
         (0u32..8).prop_map(|dst| Op::Invalidate { dst }),
         (0u32..8).prop_map(|next| Op::InvalidateVia { next }),

@@ -45,6 +45,8 @@ pub mod streams {
     pub const CHURN: u64 = 6;
     /// Membership view sampling.
     pub const MEMBERSHIP: u64 = 7;
+    /// Fault injection (frame drops/delays/duplicates, crash schedules).
+    pub const FAULTS: u64 = 8;
 }
 
 /// SplitMix64: a fast, well-distributed 64-bit mixer (Steele et al.,
@@ -60,7 +62,8 @@ pub fn splitmix64(mut x: u64) -> u64 {
 /// Derives a full 32-byte [`StdRng`] seed from `(master_seed, stream_id)`.
 fn derive_seed(master_seed: u64, stream_id: u64) -> [u8; 32] {
     let mut seed = [0u8; 32];
-    let mut state = splitmix64(master_seed) ^ splitmix64(stream_id.wrapping_mul(0xA24B_AED4_963E_E407));
+    let mut state =
+        splitmix64(master_seed) ^ splitmix64(stream_id.wrapping_mul(0xA24B_AED4_963E_E407));
     for chunk in seed.chunks_exact_mut(8) {
         state = splitmix64(state);
         chunk.copy_from_slice(&state.to_le_bytes());
@@ -90,8 +93,14 @@ mod tests {
 
     #[test]
     fn same_inputs_same_stream() {
-        let a: Vec<u64> = stream(7, 1).sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u64> = stream(7, 1).sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u64> = stream(7, 1)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u64> = stream(7, 1)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(a, b);
     }
 

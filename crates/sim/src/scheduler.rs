@@ -48,7 +48,11 @@ impl<E> Scheduler<E> {
     /// Panics in debug builds if `at` is in the past; scheduling into the
     /// past would break causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at.max(self.now), event)
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the event queue and time arithmetic.
 
-use proptest::prelude::*;
 use pqs_sim::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
 
 proptest! {
     /// Events always pop in nondecreasing time order, with FIFO ties.

@@ -70,8 +70,10 @@ fn main() {
     // Reads must gather *all* quorum answers to take the max version, so
     // probe the whole lookup quorum in parallel (no early halting).
     cfg.service.lookup_fanout = Fanout::Parallel;
-    cfg.service.spec.lookup =
-        pqs::core::QuorumSpec::new(pqs::core::AccessStrategy::Random, cfg.service.spec.lookup.size);
+    cfg.service.spec.lookup = pqs::core::QuorumSpec::new(
+        pqs::core::AccessStrategy::Random,
+        cfg.service.spec.lookup.size,
+    );
     let mut net: QuorumNet = Network::new(cfg.net.clone());
     let mut stack = QuorumStack::new(&net, cfg.service, 42);
 
@@ -91,12 +93,12 @@ fn main() {
     let v1 = quorum_write(&mut net, &mut stack, writer_a, 1111, t);
     println!("writer A wrote data=1111 at version {v1}");
 
-    t = t + step;
+    t += step;
     let v2 = quorum_write(&mut net, &mut stack, writer_b, 2222, t);
     println!("writer B wrote data=2222 at version {v2}");
     assert!(v2 > v1, "version order respects write order");
 
-    t = t + step;
+    t += step;
     let read = quorum_read(&mut net, &mut stack, reader, t).expect("register readable");
     println!("reader read (version={}, data={})", read.0, read.1);
     assert_eq!(

@@ -22,7 +22,10 @@ fn main() {
         .spec
         .intersection_lower_bound(n)
         .expect("the advertise side is RANDOM, so the guarantee applies");
-    println!("network:              {n} nodes, avg degree {}", cfg.net.avg_degree);
+    println!(
+        "network:              {n} nodes, avg degree {}",
+        cfg.net.avg_degree
+    );
     println!("advertise quorum:     {}", cfg.service.spec.advertise);
     println!("lookup quorum:        {}", cfg.service.spec.lookup);
     println!("guaranteed P(∩):      ≥ {bound:.3}  (Lemma 5.2 / Corollary 5.3)");

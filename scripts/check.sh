@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, tier-1 build + tests, and the full
+# workspace test suite. Run from anywhere; everything executes at the
+# repo root. Pass --quick to skip the workspace-wide test pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo test --workspace -q"
+    cargo test --workspace -q
+fi
+
+echo "==> all checks passed"

@@ -32,7 +32,10 @@ fn simulator_topology_matches_rgg_theory() {
         (6.0..11.0).contains(&d),
         "degree {d} inconsistent with target 10 (square boundary deficit expected)"
     );
-    assert!(g.components()[0].len() >= 290, "should be essentially connected");
+    assert!(
+        g.components()[0].len() >= 290,
+        "should be essentially connected"
+    );
 }
 
 #[test]
@@ -45,7 +48,10 @@ fn walk_costs_predict_protocol_costs() {
     let comp = rgg.graph().components().remove(0);
     let steps = partial_cover_steps(rgg.graph(), comp[0], 12, WalkKind::SelfAvoiding, &mut r)
         .expect("covers");
-    assert!(steps <= 20, "graph-level walk of 12 nodes took {steps} steps");
+    assert!(
+        steps <= 20,
+        "graph-level walk of 12 nodes took {steps} steps"
+    );
 
     let mut cfg = ScenarioConfig::paper(100);
     cfg.workload = WorkloadConfig::small(6, 30);

@@ -1,0 +1,107 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the DSL subset this workspace uses — `proptest! {}`,
+//! `prop_assert*!`, `prop_oneof!`, `any::<T>()`, numeric range
+//! strategies, tuple strategies, `prop_map` and `collection::vec` — on
+//! top of a simple deterministic runner: each test executes a fixed
+//! number of cases seeded from a hash of the test name, so failures
+//! reproduce exactly without persisted regression files. There is no
+//! shrinking; a failing case reports its inputs' case index instead.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item expands to a `#[test]`-style function that runs the body over a
+/// deterministic series of sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __pt_rng);)*
+                    let __pt_out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __pt_out
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (with its inputs reported) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, with `Debug` output of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pt_l == *__pt_r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __pt_l,
+            __pt_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(*__pt_l == *__pt_r, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!` for inequality, with `Debug` output of both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pt_l != *__pt_r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __pt_l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(*__pt_l != *__pt_r, $($fmt)+);
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type (each arm is boxed).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,57 @@
+//! Deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Number of generated cases per property. Deliberately modest: the
+/// workspace's properties are cheap but numerous, and determinism (not
+/// coverage volume) is the point of this harness.
+const CASES: u64 = 64;
+
+/// A failed property assertion (from `prop_assert*!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed so every
+/// property sees a distinct but reproducible input sequence.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` over [`CASES`] deterministic cases; panics (failing the
+/// surrounding `#[test]`) on the first case whose assertions fail.
+pub fn run<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(err) = body(&mut rng) {
+            panic!("proptest '{name}' failed at deterministic case {case}/{CASES}: {err}");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Distributions: the [`Standard`] distribution, [`DistIter`] and the
+//! uniform range sampling used by `Rng::gen_range`.
+
+use crate::RngCore;
+use std::marker::PhantomData;
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        let v: u128 = Standard.sample(rng);
+        v as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use the high bit, which is the strongest in xoshiro256**.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 bits of precision (matches upstream).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Iterator over samples of a distribution (from `Rng::sample_iter`).
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        DistIter {
+            distr,
+            rng,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling, the machinery behind `Rng::gen_range`.
+
+    use super::{Distribution, Standard};
+    use crate::{Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Range types accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples a single value uniformly from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Multiply-shift bounded sampling (Lemire): maps a full-width random
+    /// word into `[0, span)` with negligible bias for simulation use.
+    #[inline]
+    fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    #[inline]
+    fn bounded_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        if let Ok(small) = u64::try_from(span) {
+            bounded_u64(rng, small) as u128
+        } else {
+            // Rare path: rejection sample the full 128-bit word.
+            loop {
+                let v: u128 = Standard.sample(rng);
+                if v < span.wrapping_mul(u128::MAX / span) {
+                    return v % span;
+                }
+            }
+        }
+    }
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                    let off = bounded_u128(rng, span);
+                    (self.start as $wide).wrapping_add(off as $wide) as $t
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as $wide)
+                        .wrapping_sub(start as $wide)
+                        .wrapping_add(1) as u128;
+                    if span == 0 {
+                        // Full-domain inclusive range of a 128-bit type.
+                        return Standard.sample(rng);
+                    }
+                    let off = bounded_u128(rng, span);
+                    (start as $wide).wrapping_add(off as $wide) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_int!(
+        u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128, u128 => u128,
+        i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128, i128 => i128
+    );
+
+    impl SampleRange<f64> for Range<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let u: f64 = rng.gen();
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "cannot sample empty range");
+            let u: f64 = rng.gen();
+            start + u * (end - start)
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let u: f32 = rng.gen();
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f32> for RangeInclusive<f32> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "cannot sample empty range");
+            let u: f32 = rng.gen();
+            start + u * (end - start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4500..5500).contains(&heads), "heads = {heads}");
+    }
+}
