@@ -94,4 +94,5 @@ fn main() {
     println!("steps over UNIQUE-PATH for the same target, and the idealised");
     println!("protocol-model PHY confirms the results are not interference");
     println!("artifacts.");
+    pqs_bench::report::finish("ablations").expect("write bench json");
 }

@@ -1,0 +1,94 @@
+//! Aggregates the per-binary `bench_results/*.json` exports into a
+//! single repo-level `BENCH_SUMMARY.json`: an index of every report
+//! (section titles, row counts, attached metric keys) plus the headline
+//! measured aggregates, sorted by report name so the output is
+//! byte-stable across regenerations.
+//!
+//! Usage: `bench_summary [results_dir] [output_path]`
+//! (defaults: `bench_results/`, `BENCH_SUMMARY.json`).
+
+use pqs_sim::json::JsonValue;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let dir = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(pqs_bench::report::out_dir);
+    let out = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_SUMMARY.json"));
+
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+
+    let mut reports = Vec::new();
+    let mut skipped = 0usize;
+    for path in &paths {
+        let text = std::fs::read_to_string(path)?;
+        let Ok(doc) = JsonValue::parse(&text) else {
+            eprintln!("skipping {}: not valid JSON", path.display());
+            skipped += 1;
+            continue;
+        };
+        reports.push(summarize(path, &doc));
+    }
+
+    let count = reports.len();
+    let summary = JsonValue::object([
+        ("results_dir", JsonValue::from(dir.display().to_string())),
+        ("report_count", JsonValue::from(count)),
+        ("reports", JsonValue::array(reports)),
+    ]);
+    std::fs::write(&out, summary.render())?;
+    println!(
+        "wrote {} ({count} reports, {skipped} skipped) from {}",
+        out.display(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// One index entry: name, section titles with row counts, and any
+/// structured metrics the binary attached (copied verbatim — they are
+/// already deterministic, so the summary stays so).
+fn summarize(path: &std::path::Path, doc: &JsonValue) -> JsonValue {
+    let name = doc
+        .get("name")
+        .and_then(|v| v.as_str().map(String::from))
+        .unwrap_or_else(|| {
+            path.file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        });
+    let sections = doc
+        .get("sections")
+        .and_then(|v| v.as_array())
+        .map(|secs| {
+            JsonValue::array(secs.iter().map(|s| {
+                let title = s.get("title").and_then(|t| t.as_str()).unwrap_or("");
+                let rows = s
+                    .get("rows")
+                    .and_then(|r| r.as_array())
+                    .map_or(0, |r| r.len());
+                JsonValue::object([
+                    ("title", JsonValue::from(title)),
+                    ("rows", JsonValue::from(rows)),
+                ])
+            }))
+        })
+        .unwrap_or_else(|| JsonValue::array(Vec::<JsonValue>::new()));
+    let mut entry = JsonValue::object([
+        ("name", JsonValue::from(name.as_str())),
+        ("sections", sections),
+    ]);
+    if let Some(metrics) = doc.get("metrics") {
+        entry.insert("metrics", metrics.clone());
+    }
+    entry
+}

@@ -130,8 +130,29 @@ fn retry_recovery(seed_list: &[u64]) {
     println!("stay unrecovered exhaust their budget and are flagged, not hung.");
 }
 
+/// `--trace`: re-runs one faulty scenario with the stack's trace ring
+/// enabled and dumps the typed event log (sim-time stamped, JSON) so a
+/// single run's retry/failure story can be read end to end.
+fn trace_dump() {
+    let n = 80;
+    let mut cfg = ScenarioConfig::paper(n);
+    cfg.workload = WorkloadConfig::small(8, 30);
+    cfg.faults = Some(FaultPlan::new().drop_frames(0.20));
+    cfg.service.retry = Some(RetryPolicy::default_policy());
+    cfg.service.trace_capacity = 4096;
+    let m = run_scenario(&cfg, seeds(1)[0]);
+    let trace = pqs_core::obs::trace_to_json(&m.trace);
+    println!("\n=== trace: n = {n}, 20% frame drops, retry on ===");
+    println!("{}", trace.render());
+    pqs_bench::report::add_value("trace", trace);
+}
+
 fn main() {
     let seed_list = seeds(3);
     degradation(&seed_list);
     retry_recovery(&seed_list);
+    if std::env::args().any(|a| a == "--trace") {
+        trace_dump();
+    }
+    pqs_bench::report::finish("fault_resilience").expect("write bench json");
 }

@@ -60,4 +60,5 @@ fn main() {
     println!("\nPaper check: 0.9 hit at |Ql| ≈ 1.15·sqrt(n); messages per lookup stay");
     println!("*below* |Ql| thanks to early halting (~|Ql|/2 to the hit), reply-path");
     println!("reduction, and the originator counting itself in the quorum (§8.3).");
+    pqs_bench::report::finish("fig10_unique_path").expect("write bench json");
 }

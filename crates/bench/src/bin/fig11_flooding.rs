@@ -38,4 +38,5 @@ fn main() {
     println!("needs TTL 4 at a disproportionate message cost — flooding's coarse");
     println!("granularity. Mobile networks hit slightly MORE (random-waypoint");
     println!("center-density artifact) while sending more messages.");
+    pqs_bench::report::finish("fig11_flooding").expect("write bench json");
 }

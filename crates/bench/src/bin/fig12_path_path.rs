@@ -76,4 +76,5 @@ fn main() {
         row(&[format!("{r}"), f(total / count.max(1.0)), f(1.0 / (r * r))]);
     }
     println!("\n(the measured column should grow at least as fast as r^-2)");
+    pqs_bench::report::finish("fig12_path_path").expect("write bench json");
 }

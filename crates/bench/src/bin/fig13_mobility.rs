@@ -43,4 +43,5 @@ fn main() {
     println!("\nPaper check (Fig. 13): the intersection column stays flat — RW");
     println!("salvation re-aims broken walk steps — while the hit ratio falls with");
     println!("speed because reply messages die on the stale reverse path.");
+    pqs_bench::report::finish("fig13_mobility").expect("write bench json");
 }

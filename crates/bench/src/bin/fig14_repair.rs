@@ -81,4 +81,5 @@ fn main() {
     println!("advertise quorum shortens lookups and reduces reply-path breakage.");
     println!("(|Qa| > 2sqrt(n) exceeds the membership view, so the proactive run");
     println!("also refreshes views — compare the hit columns, not absolutes.)");
+    pqs_bench::report::finish("fig14_repair").expect("write bench json");
 }

@@ -62,4 +62,5 @@ fn main() {
     println!("\nPaper check (§8.7): outstanding survivability — the measured curve");
     println!("degrades slowly and tracks the §6.1 analysis (e.g. ≈0.87 at f = 0.5");
     println!("for failures with an adjusted lookup quorum).");
+    pqs_bench::report::finish("fig14f_churn").expect("write bench json");
 }

@@ -53,4 +53,5 @@ fn main() {
     println!("ratios but its last TTL step is disproportionately expensive;");
     println!("UNIQUE-PATH reaches high hit ratios with fine-grained, near-linear");
     println!("cost; RANDOM-OPT is inferior once its routing price is counted.");
+    pqs_bench::report::finish("fig15_comparison").expect("write bench json");
 }

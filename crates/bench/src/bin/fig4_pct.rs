@@ -87,4 +87,5 @@ fn main() {
     println!("count and bounded by a small constant (2*alpha), i.e. PCT(t) = O(t).");
     println!("Paper reference points: simple RW ~1.7 at d_avg=10; ~2.5 at d_avg=7;");
     println!("UNIQUE-PATH ~1.0-1.2 everywhere.");
+    pqs_bench::report::finish("fig4_pct").expect("write bench json");
 }

@@ -80,4 +80,5 @@ fn main() {
     }
     println!("\nPaper check: CG(3) is always above 2; CG(4) and CG(5) land between");
     println!("1.25 and 1.75 — TTL is a very coarse control knob for quorum size.");
+    pqs_bench::report::finish("fig5_flooding_coverage").expect("write bench json");
 }

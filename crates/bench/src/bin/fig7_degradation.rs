@@ -61,4 +61,5 @@ fn main() {
     }
     println!("\nPaper check (§6.1): starting at 0.95, mixed churn of 30% degrades");
     println!("to slightly below 0.9 — the fail+join row at f=0.3 above.");
+    pqs_bench::report::finish("fig7_degradation").expect("write bench json");
 }

@@ -57,4 +57,5 @@ fn main() {
     }
     println!("\nPaper check: 0.9 hit ratio at |Ql| ≈ 1.15·sqrt(n) (Lemma 5.1), and");
     println!("routing overhead dominating the application cost of RANDOM advertise.");
+    pqs_bench::report::finish("fig8_random").expect("write bench json");
 }

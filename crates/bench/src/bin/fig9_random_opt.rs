@@ -45,4 +45,5 @@ fn main() {
     println!("performs the lookup; the routing price still makes it inferior to");
     println!("UNIQUE-PATH, and mobility degrades it slightly (lost replies, longer");
     println!("stale routes).");
+    pqs_bench::report::finish("fig9_random_opt").expect("write bench json");
 }

@@ -47,4 +47,5 @@ fn main() {
     println!("§8.8 check: with measured costs Cost_a/Cost_l = 600/33 ≈ 18 for");
     println!("RANDOM×UNIQUE-PATH vs 250/100 = 2.5 for UNIQUE×UNIQUE, the RANDOM mix");
     println!("wins whenever tau > 2.5 lookups per advertise.");
+    pqs_bench::report::finish("table_combinations").expect("write bench json");
 }

@@ -75,4 +75,5 @@ fn main() {
         "Area side at n=800, d=10      {:.0} m  (a^2 = pi r^2 n / d)",
         cfg.area_side_m()
     );
+    pqs_bench::report::finish("table_params").expect("write bench json");
 }

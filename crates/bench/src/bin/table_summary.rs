@@ -95,4 +95,5 @@ fn main() {
     println!("UNIQUE-PATH lookups are the cheapest hits (early halting makes hits");
     println!("cheaper than misses); UNIQUE x UNIQUE trades cheap advertises for");
     println!("expensive lookups — per Lemma 5.6 it only wins when lookups are rare.");
+    pqs_bench::report::finish("table_summary").expect("write bench json");
 }

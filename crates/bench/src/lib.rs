@@ -49,17 +49,134 @@ pub fn largest_n() -> usize {
     }
 }
 
-/// Prints a title and a column header line.
+/// Prints a title and a column header line, and opens a new section in
+/// the machine-readable report (see [`report`]).
 pub fn header(title: &str, columns: &[&str]) {
+    report::on_header(title, columns);
     println!("\n=== {title} ===");
     let line: Vec<String> = columns.iter().map(|c| format!("{c:>14}")).collect();
     println!("{}", line.join(" "));
 }
 
-/// Prints one row of formatted cells.
+/// Prints one row of formatted cells and records it in the report.
 pub fn row(cells: &[String]) {
+    report::on_row(cells);
     let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
     println!("{}", line.join(" "));
+}
+
+pub mod report {
+    //! Machine-readable bench reports.
+    //!
+    //! Every [`header`](super::header)/[`row`](super::row) call is
+    //! captured into a process-global report; binaries call
+    //! [`finish`] as their last statement to write
+    //! `bench_results/<name>.json` alongside the human-readable table
+    //! output. Structured metrics (aggregates, histograms) can be
+    //! attached with [`add_value`]. All content is insertion-ordered, so
+    //! a deterministic bench renders a byte-identical export.
+
+    use pqs_sim::json::JsonValue;
+    use std::path::PathBuf;
+    use std::sync::Mutex;
+
+    struct Section {
+        title: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<String>>,
+    }
+
+    struct State {
+        sections: Vec<Section>,
+        values: Vec<(String, JsonValue)>,
+    }
+
+    static STATE: Mutex<State> = Mutex::new(State {
+        sections: Vec::new(),
+        values: Vec::new(),
+    });
+
+    pub(crate) fn on_header(title: &str, columns: &[&str]) {
+        let mut state = STATE.lock().expect("report lock");
+        state.sections.push(Section {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        });
+    }
+
+    pub(crate) fn on_row(cells: &[String]) {
+        let mut state = STATE.lock().expect("report lock");
+        if state.sections.is_empty() {
+            state.sections.push(Section {
+                title: String::new(),
+                columns: Vec::new(),
+                rows: Vec::new(),
+            });
+        }
+        let section = state.sections.last_mut().expect("section exists");
+        section.rows.push(cells.to_vec());
+    }
+
+    /// Attaches a structured value (aggregate, histogram, …) to the
+    /// report under `key`. Repeated keys are kept in call order.
+    pub fn add_value(key: &str, value: JsonValue) {
+        let mut state = STATE.lock().expect("report lock");
+        state.values.push((key.to_string(), value));
+    }
+
+    /// The report captured so far, as a JSON tree.
+    pub fn to_json(name: &str) -> JsonValue {
+        let state = STATE.lock().expect("report lock");
+        let sections =
+            JsonValue::array(state.sections.iter().map(|s| {
+                JsonValue::object([
+                    ("title", JsonValue::from(s.title.as_str())),
+                    (
+                        "columns",
+                        JsonValue::array(s.columns.iter().map(|c| JsonValue::from(c.as_str()))),
+                    ),
+                    (
+                        "rows",
+                        JsonValue::array(s.rows.iter().map(|r| {
+                            JsonValue::array(r.iter().map(|c| JsonValue::from(c.trim())))
+                        })),
+                    ),
+                ])
+            }));
+        let mut out = JsonValue::object([("name", JsonValue::from(name)), ("sections", sections)]);
+        if !state.values.is_empty() {
+            out.insert(
+                "metrics",
+                JsonValue::object(
+                    state
+                        .values
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect::<Vec<_>>(),
+                ),
+            );
+        }
+        out
+    }
+
+    /// Directory the JSON exports are written to (`PQS_BENCH_DIR`,
+    /// default `bench_results/` relative to the working directory).
+    pub fn out_dir() -> PathBuf {
+        std::env::var("PQS_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("bench_results"))
+    }
+
+    /// Writes the captured report to `bench_results/<name>.json` and
+    /// returns the path. Call as the binary's last statement.
+    pub fn finish(name: &str) -> std::io::Result<PathBuf> {
+        let dir = out_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, to_json(name).render())?;
+        Ok(path)
+    }
 }
 
 /// Formats a float cell.

@@ -55,6 +55,7 @@ pub mod analysis;
 pub mod estimator;
 pub mod membership;
 pub mod messages;
+pub mod obs;
 pub mod pubsub;
 pub mod register;
 pub mod runner;
@@ -66,6 +67,7 @@ pub mod workload;
 
 pub use membership::Membership;
 pub use messages::{AppMsg, OpId};
+pub use obs::{LoadSummary, TraceEvent};
 pub use runner::{run_scenario, run_seeds, Aggregate, RunMetrics, ScenarioConfig};
 pub use service::{
     Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, RetryPolicy, ServiceConfig,

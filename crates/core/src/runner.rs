@@ -2,12 +2,14 @@
 //! paper's two-phase workload (advertise, then look up), applies churn
 //! between the phases (§8.7), and collects the metrics the paper reports.
 
+use crate::obs::{LoadSummary, TraceEvent};
 use crate::service::{OpKind, QuorumCounters, ServiceConfig};
 use crate::stack::{QuorumNet, QuorumStack};
 use crate::workload::{Workload, WorkloadConfig};
 use pqs_net::{FaultPlan, NetConfig, NetStats, Network};
+use pqs_sim::metrics::Histogram;
 use pqs_sim::rng::{self, streams};
-use pqs_sim::SimDuration;
+use pqs_sim::{SimDuration, SimTime};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +125,20 @@ pub struct RunMetrics {
     pub net_stats: NetStats,
     /// Mean lookup completion latency over hits, in seconds.
     pub mean_hit_latency_s: f64,
+    /// Advertise completion latency distribution (microseconds):
+    /// issue → full quorum placed.
+    pub advertise_latency: Histogram,
+    /// Lookup hit latency distribution (microseconds): issue → reply at
+    /// the originator. Misses are not recorded.
+    pub lookup_latency: Histogram,
+    /// Per-node message-load summary (balance analysis).
+    pub load: LoadSummary,
+    /// Past-timestamp schedules clamped by the event scheduler — a
+    /// causality-violation canary, zero in a healthy run.
+    pub scheduler_clamped: u64,
+    /// Retained trace events (empty unless
+    /// `ServiceConfig::trace_capacity > 0`).
+    pub trace: Vec<(SimTime, TraceEvent)>,
 }
 
 impl RunMetrics {
@@ -248,17 +264,37 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
         counters: *stack.counters(),
         net_stats: *net.stats(),
         mean_hit_latency_s: 0.0,
+        advertise_latency: Histogram::new(),
+        lookup_latency: Histogram::new(),
+        load: LoadSummary::from_loads(net.node_loads()),
+        scheduler_clamped: net.scheduler_clamped(),
+        trace: stack.trace_events(),
     };
     let mut latency_sum = 0.0;
     for (_, rec) in stack.ops() {
         match rec.kind {
-            OpKind::Advertise => metrics.advertises += 1,
+            OpKind::Advertise => {
+                metrics.advertises += 1;
+                // `completed` is only stamped on advertises that placed
+                // their full quorum (or were closed by the retry layer,
+                // which sets a failure flag) — successes only here.
+                if let Some(done) = rec.completed {
+                    if !rec.retries_exhausted && !rec.deadline_expired {
+                        metrics
+                            .advertise_latency
+                            .record((done - rec.started).as_micros());
+                    }
+                }
+            }
             OpKind::Lookup => {
                 metrics.lookups += 1;
                 if rec.replied {
                     metrics.hits += 1;
                     if let Some(done) = rec.completed {
                         latency_sum += (done - rec.started).as_secs_f64();
+                        metrics
+                            .lookup_latency
+                            .record((done - rec.started).as_micros());
                     }
                 }
                 if rec.intersected {
@@ -344,6 +380,19 @@ pub struct Aggregate {
     /// Sample standard deviation of the per-run hit ratios (0 for a
     /// single run) — a quick read on whether more seeds are needed.
     pub hit_ratio_stddev: f64,
+    /// Median lookup hit latency (seconds) over the merged per-run
+    /// histograms.
+    pub lookup_p50_s: f64,
+    /// 90th-percentile lookup hit latency (seconds).
+    pub lookup_p90_s: f64,
+    /// 99th-percentile lookup hit latency (seconds).
+    pub lookup_p99_s: f64,
+    /// Median advertise completion latency (seconds).
+    pub advertise_p50_s: f64,
+    /// 90th-percentile advertise completion latency (seconds).
+    pub advertise_p90_s: f64,
+    /// 99th-percentile advertise completion latency (seconds).
+    pub advertise_p99_s: f64,
 }
 
 /// Aggregates run metrics into means.
@@ -352,6 +401,15 @@ pub fn aggregate(runs: &[RunMetrics]) -> Aggregate {
         return Aggregate::default();
     }
     let k = runs.len() as f64;
+    let mut lookup_hist = Histogram::new();
+    let mut advertise_hist = Histogram::new();
+    for r in runs {
+        lookup_hist.merge(&r.lookup_latency);
+        advertise_hist.merge(&r.advertise_latency);
+    }
+    let (lkp50, lkp90, lkp99) = lookup_hist.quantile_summary();
+    let (adv50, adv90, adv99) = advertise_hist.quantile_summary();
+    let secs = |us: u64| us as f64 / 1e6;
     Aggregate {
         runs: runs.len(),
         hit_ratio: runs.iter().map(RunMetrics::hit_ratio).sum::<f64>() / k,
@@ -383,6 +441,12 @@ pub fn aggregate(runs: &[RunMetrics]) -> Aggregate {
                     .sqrt()
             }
         },
+        lookup_p50_s: secs(lkp50),
+        lookup_p90_s: secs(lkp90),
+        lookup_p99_s: secs(lkp99),
+        advertise_p50_s: secs(adv50),
+        advertise_p90_s: secs(adv90),
+        advertise_p99_s: secs(adv99),
     }
 }
 
@@ -424,6 +488,11 @@ mod tests {
             counters: QuorumCounters::default(),
             net_stats: NetStats::default(),
             mean_hit_latency_s: 0.0,
+            advertise_latency: Histogram::new(),
+            lookup_latency: Histogram::new(),
+            load: LoadSummary::default(),
+            scheduler_clamped: 0,
+            trace: Vec::new(),
         };
         assert_eq!(m.hit_ratio(), 0.0);
         assert_eq!(m.msgs_per_lookup(), 0.0);

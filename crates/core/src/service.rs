@@ -142,6 +142,10 @@ pub struct ServiceConfig {
     /// Operation-level retry/deadline/backoff policy. `None` (the paper's
     /// setup — it has no such layer) issues every access exactly once.
     pub retry: Option<RetryPolicy>,
+    /// Capacity of the stack's structured sim-time trace ring
+    /// (`0` = tracing disabled, the default; the hot path then pays a
+    /// single branch per would-be event).
+    pub trace_capacity: usize,
 }
 
 impl ServiceConfig {
@@ -174,6 +178,7 @@ impl ServiceConfig {
             expanding_ring: false,
             expanding_ring_timeout: SimDuration::from_millis(500),
             retry: None,
+            trace_capacity: 0,
         }
     }
 }

@@ -10,6 +10,7 @@
 use crate::estimator;
 use crate::membership::Membership;
 use crate::messages::{AppMsg, FloodMsg, FloodReplyMsg, OpId, QuorumAction, ReplyMsg, WalkMsg};
+use crate::obs::TraceEvent;
 use crate::service::{Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig};
 use crate::spec::AccessStrategy;
 use crate::store::{Key, Role, Store, Value};
@@ -150,6 +151,10 @@ pub struct QuorumStack {
     /// advertisements. Drives the §6.1 advertise-survivor estimate.
     original_failed: HashSet<NodeId>,
     counters: QuorumCounters,
+    /// Structured sim-time trace (`None` unless
+    /// `ServiceConfig::trace_capacity > 0`): the disabled hot path is a
+    /// single branch per would-be event.
+    trace: Option<pqs_sim::trace::TraceRing<TraceEvent>>,
     rng: StdRng,
 }
 
@@ -188,6 +193,8 @@ impl QuorumStack {
             initial_n: n,
             original_failed: HashSet::new(),
             counters: QuorumCounters::default(),
+            trace: (cfg.trace_capacity > 0)
+                .then(|| pqs_sim::trace::TraceRing::new(cfg.trace_capacity)),
             rng: rng::stream(seed, streams::QUORUM),
         }
     }
@@ -222,6 +229,27 @@ impl QuorumStack {
         &self.counters
     }
 
+    /// The structured trace ring, when tracing is enabled.
+    pub fn trace(&self) -> Option<&pqs_sim::trace::TraceRing<TraceEvent>> {
+        self.trace.as_ref()
+    }
+
+    /// Copies out the retained trace, oldest first (empty when tracing is
+    /// disabled).
+    pub fn trace_events(&self) -> Vec<(SimTime, TraceEvent)> {
+        self.trace
+            .as_ref()
+            .map(|t| t.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    #[inline]
+    fn trace_push(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(at, event);
+        }
+    }
+
     /// A node's store (tests/diagnostics).
     pub fn store_of(&self, node: NodeId) -> &Store {
         &self.stores[node.index()]
@@ -247,6 +275,14 @@ impl QuorumStack {
         self.next_op += 1;
         self.ops
             .insert(op, OpRecord::new(OpKind::Advertise, key, node, net.now()));
+        self.trace_push(
+            net.now(),
+            TraceEvent::OpIssued {
+                op,
+                kind: OpKind::Advertise,
+                origin: node,
+            },
+        );
         if !net.is_alive(node) {
             return op;
         }
@@ -327,6 +363,14 @@ impl QuorumStack {
         self.next_op += 1;
         self.ops
             .insert(op, OpRecord::new(OpKind::Lookup, key, node, net.now()));
+        self.trace_push(
+            net.now(),
+            TraceEvent::OpIssued {
+                op,
+                kind: OpKind::Lookup,
+                origin: node,
+            },
+        );
         if !net.is_alive(node) {
             return op;
         }
@@ -429,6 +473,42 @@ impl QuorumStack {
         }
     }
 
+    /// Records one placed store for an advertise access. When the
+    /// placement target is reached the record is stamped complete (the
+    /// advertise-latency source; routed strategies previously never set
+    /// `completed` on success) and an [`TraceEvent::OpCompleted`] is
+    /// traced.
+    fn note_store_placed(&mut self, now: SimTime, op: OpId) {
+        let target = match self.cfg.spec.advertise.strategy {
+            // A flood's size parameter is a TTL and floods are
+            // unconfirmed: the origin's own store is the only guaranteed
+            // placement (mirrors `op_succeeded`).
+            AccessStrategy::Flooding => 1,
+            _ => self.cfg.spec.advertise.size,
+        };
+        let mut done = None;
+        if let Some(rec) = self.ops.get_mut(&op) {
+            rec.stores_placed += 1;
+            if rec.kind == OpKind::Advertise
+                && rec.stores_placed >= target
+                && rec.completed.is_none()
+            {
+                rec.completed = Some(now);
+                done = Some(now - rec.started);
+            }
+        }
+        if let Some(latency) = done {
+            self.trace_push(
+                now,
+                TraceEvent::OpCompleted {
+                    op,
+                    kind: OpKind::Advertise,
+                    latency,
+                },
+            );
+        }
+    }
+
     /// Arms the retry layer for a freshly issued operation.
     fn arm_retry(&mut self, net: &mut QuorumNet, op: OpId, value: Option<Value>) {
         let Some(policy) = self.cfg.retry else {
@@ -521,11 +601,14 @@ impl QuorumStack {
             state.attempts += 1;
         }
         self.counters.op_retries += 1;
+        let mut attempt = 0;
         if let Some(rec) = self.ops.get_mut(&op) {
             rec.attempts += 1;
+            attempt = rec.attempts;
             // Reopen a record a previous attempt closed as a miss.
             rec.completed = None;
         }
+        self.trace_push(net.now(), TraceEvent::OpRetried { op, attempt });
         if policy.adapt_quorum && kind == OpKind::Lookup {
             self.adapt_lookup_quorum(net, op, policy.epsilon);
         }
@@ -564,18 +647,24 @@ impl QuorumStack {
     fn finish_failed(&mut self, net: &mut QuorumNet, op: OpId, why: RetryFailure) {
         self.retry.remove(&op);
         let now = net.now();
+        let mut failed = None;
         if let Some(rec) = self.ops.get_mut(&op) {
             match why {
                 RetryFailure::Exhausted => {
                     rec.retries_exhausted = true;
                     self.counters.retries_exhausted += 1;
+                    failed = Some(false);
                 }
                 RetryFailure::Deadline => {
                     rec.deadline_expired = true;
                     self.counters.deadlines_expired += 1;
+                    failed = Some(true);
                 }
             }
             rec.completed.get_or_insert(now);
+        }
+        if let Some(deadline) = failed {
+            self.trace_push(now, TraceEvent::OpFailed { op, deadline });
         }
     }
 
@@ -633,6 +722,7 @@ impl QuorumStack {
         if new_size != self.cfg.spec.lookup.size {
             self.counters.quorum_adaptations += 1;
             self.cfg.spec.lookup.size = new_size;
+            self.trace_push(net.now(), TraceEvent::QuorumAdapted { size: new_size });
         }
     }
 
@@ -752,9 +842,7 @@ impl QuorumStack {
             QuorumAction::Advertise { key, value } => {
                 if first_visit {
                     self.stores[at.index()].insert(key, value, Role::Owner);
-                    if let Some(rec) = self.ops.get_mut(&msg.op) {
-                        rec.stores_placed += 1;
-                    }
+                    self.note_store_placed(net.now(), msg.op);
                 }
             }
             QuorumAction::Lookup { key } => {
@@ -1010,9 +1098,18 @@ impl QuorumStack {
             rec.intersected = true;
             rec.value = Some(first);
             rec.completed = Some(now);
+            let latency = now - rec.started;
             if self.cfg.caching {
                 self.stores[rec.origin.index()].insert(rec.key, first, Role::Bystander);
             }
+            self.trace_push(
+                now,
+                TraceEvent::OpCompleted {
+                    op,
+                    kind: OpKind::Lookup,
+                    latency,
+                },
+            );
         }
         if let Some(state) = self.serial.remove(&op) {
             if let Some(t) = state.timer {
@@ -1039,9 +1136,7 @@ impl QuorumStack {
         self.counters.flood_covered += 1;
         if let QuorumAction::Advertise { key, value } = action {
             self.stores[node.index()].insert(key, value, Role::Owner);
-            if let Some(rec) = self.ops.get_mut(&op) {
-                rec.stores_placed += 1;
-            }
+            self.note_store_placed(net.now(), op);
         }
         if ttl == 0 {
             return;
@@ -1105,9 +1200,7 @@ impl QuorumStack {
         match msg.action {
             QuorumAction::Advertise { key, value } => {
                 self.stores[at.index()].insert(key, value, Role::Owner);
-                if let Some(rec) = self.ops.get_mut(&msg.op) {
-                    rec.stores_placed += 1;
-                }
+                self.note_store_placed(net.now(), msg.op);
             }
             QuorumAction::Lookup { key } => {
                 if let Some(value) = self.stores[at.index()].lookup(key) {
@@ -1228,9 +1321,7 @@ impl QuorumStack {
         match msg {
             AppMsg::Store { op, key, value } => {
                 self.stores[at.index()].insert(key, value, Role::Owner);
-                if let Some(rec) = self.ops.get_mut(&op) {
-                    rec.stores_placed += 1;
-                }
+                self.note_store_placed(net.now(), op);
             }
             AppMsg::LookupReq { op, key, origin } => {
                 let found = self.stores[at.index()].lookup_all(key);
@@ -1292,9 +1383,7 @@ impl QuorumStack {
                 if self.cfg.spec.advertise.strategy == AccessStrategy::RandomOpt =>
             {
                 self.stores[node.index()].insert(key, value, Role::Owner);
-                if let Some(rec) = self.ops.get_mut(&op) {
-                    rec.stores_placed += 1;
-                }
+                self.note_store_placed(net.now(), op);
                 let events = self.router.forward_transit(net, handle);
                 self.dispatch(net, events);
             }

@@ -1,0 +1,84 @@
+//! Same seed ⇒ byte-identical *exported* metrics. The observability
+//! layer's contract is stronger than value equality: the rendered JSON —
+//! histograms, counters, load summary, trace — must match byte for byte,
+//! so exports can be diffed across runs and machines.
+
+use pqs_core::runner::{aggregate, run_scenario, run_seeds, ScenarioConfig};
+use pqs_core::workload::WorkloadConfig;
+use pqs_core::RetryPolicy;
+use pqs_net::FaultPlan;
+use pqs_sim::json::{JsonValue, ToJson};
+
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(30);
+    cfg.workload = WorkloadConfig::small(4, 8);
+    cfg.service.retry = Some(RetryPolicy::default_policy());
+    cfg.service.trace_capacity = 256;
+    cfg.faults = Some(FaultPlan::new().drop_frames(0.1));
+    cfg
+}
+
+#[test]
+fn same_seed_exports_identical_json() {
+    let cfg = scenario();
+    let a = run_scenario(&cfg, 42).to_json().render();
+    let b = run_scenario(&cfg, 42).to_json().render();
+    assert_eq!(a, b, "same seed must export byte-identical JSON");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn different_seeds_export_different_json() {
+    let cfg = scenario();
+    let a = run_scenario(&cfg, 1).to_json().render();
+    let b = run_scenario(&cfg, 2).to_json().render();
+    assert_ne!(a, b, "distinct seeds should not export identically");
+}
+
+#[test]
+fn exported_json_parses_and_carries_key_metrics() {
+    let cfg = scenario();
+    let metrics = run_scenario(&cfg, 7);
+    let rendered = metrics.to_json().render();
+    let parsed = JsonValue::parse(&rendered).expect("export is valid JSON");
+    assert_eq!(parsed.get("seed").and_then(|v| v.as_u64()), Some(7));
+    assert_eq!(
+        parsed.get("lookups").and_then(|v| v.as_u64()),
+        Some(metrics.lookups as u64)
+    );
+    let hist = parsed.get("lookup_latency_us").expect("histogram present");
+    assert_eq!(
+        hist.get("count").and_then(|v| v.as_u64()),
+        Some(metrics.lookup_latency.count())
+    );
+    assert!(parsed.get("net_stats").is_some());
+    assert!(parsed.get("counters").is_some());
+    assert!(parsed.get("load").is_some());
+    // Tracing was enabled, so the trace array must be present.
+    assert!(
+        parsed.get("trace").is_some(),
+        "trace enabled but not exported"
+    );
+    assert_eq!(
+        parsed.get("scheduler_clamped").and_then(|v| v.as_u64()),
+        Some(0),
+        "healthy runs schedule nothing in the past"
+    );
+}
+
+#[test]
+fn aggregate_percentiles_are_deterministic_and_ordered() {
+    let cfg = scenario();
+    let seeds = [3u64, 4, 5];
+    let agg1 = aggregate(&run_seeds(&cfg, &seeds));
+    let agg2 = aggregate(&run_seeds(&cfg, &seeds));
+    assert_eq!(
+        agg1.to_json().render(),
+        agg2.to_json().render(),
+        "thread-per-seed runs must still aggregate deterministically"
+    );
+    assert!(agg1.lookup_p50_s <= agg1.lookup_p90_s);
+    assert!(agg1.lookup_p90_s <= agg1.lookup_p99_s);
+    assert!(agg1.advertise_p50_s <= agg1.advertise_p90_s);
+    assert!(agg1.advertise_p90_s <= agg1.advertise_p99_s);
+}

@@ -136,6 +136,9 @@ pub struct Network<P> {
     next_tx_id: u64,
     mac_rng: StdRng,
     stats: NetStats,
+    /// Data frames delivered to each node's upper layer (overheard ones
+    /// included): the per-node load profile for balance analysis.
+    node_load: Vec<u64>,
     grid_slack_m: f64,
     faults: Option<FaultInjector>,
     delayed: HashMap<u64, Upcall<P>>,
@@ -207,9 +210,10 @@ impl<P: Clone> Network<P> {
             );
         }
 
-        if !config.mobility.is_static() {
-            scheduler.schedule_at(SimTime::ZERO + grid_refresh, Event::GridRefresh);
-        }
+        // The periodic refresh re-indexes mobile nodes *and* evicts
+        // expired heartbeat entries, so it runs for static networks too
+        // (long churn runs would otherwise accumulate stale map entries).
+        scheduler.schedule_at(SimTime::ZERO + grid_refresh, Event::GridRefresh);
 
         let mut net = Network {
             medium: Medium::new(config.phy),
@@ -223,6 +227,7 @@ impl<P: Clone> Network<P> {
             next_tx_id: 0,
             mac_rng,
             stats: NetStats::default(),
+            node_load: vec![0; config.n],
             grid_slack_m,
             faults: None,
             delayed: HashMap::new(),
@@ -380,6 +385,7 @@ impl<P: Clone> Network<P> {
         });
         self.macs.push(MacState::new(self.config.mac.cw_min));
         self.neighbors.push(HashMap::new());
+        self.node_load.push(0);
         id
     }
 
@@ -441,19 +447,47 @@ impl<P: Clone> Network<P> {
         &self.stats
     }
 
+    /// Data frames delivered to each node's upper layer, indexed by node
+    /// id — the per-node load profile (GeoQuorum-style balance analysis).
+    pub fn node_loads(&self) -> &[u64] {
+        &self.node_load
+    }
+
+    /// Causality-violating (past-timestamp) schedules clamped by the
+    /// event scheduler. Zero in a healthy run; surfaced in metric exports.
+    pub fn scheduler_clamped(&self) -> u64 {
+        self.scheduler.clamped_schedules()
+    }
+
+    /// Raw heartbeat-table size for `node`, *including* entries that have
+    /// expired but not yet been evicted (diagnostics: the eviction tests
+    /// assert this stays bounded on long runs).
+    pub fn neighbor_table_size(&self, node: NodeId) -> usize {
+        self.neighbors[node.index()].len()
+    }
+
     /// Ground-truth connectivity snapshot (unit-disk at the ideal range)
     /// over alive nodes; dead nodes appear isolated. Diagnostics only.
+    ///
+    /// Queries the spatial grid for candidate pairs instead of scanning
+    /// all `n²` pairs: the grid's recorded positions are at most one
+    /// refresh interval stale, which `grid_slack_m` covers (the same
+    /// superset guarantee the PHY relies on), and candidates are then
+    /// filtered by exact current distance.
     pub fn connectivity_graph(&self) -> pqs_graph::Graph {
         let now = self.now();
         let range = self.config.phy.ideal_range_m;
+        let search = range + self.grid_slack_m;
         let mut g = pqs_graph::Graph::new(self.nodes.len());
         for i in 0..self.nodes.len() {
             if !self.nodes[i].alive {
                 continue;
             }
             let pi = self.nodes[i].motion.position(now);
-            for j in (i + 1)..self.nodes.len() {
-                if !self.nodes[j].alive {
+            for j in self.grid.nearby(pi, search) {
+                let j = j as usize;
+                // Each unordered pair once; dead nodes are not in the grid.
+                if j <= i {
                     continue;
                 }
                 if pi.distance(self.nodes[j].motion.position(now)) <= range {
@@ -476,6 +510,9 @@ impl<P: Clone> Network<P> {
             processed += 1;
             let upcalls = self.handle(event);
             for up in upcalls {
+                if let Upcall::Frame { at, .. } = &up {
+                    self.node_load[at.index()] += 1;
+                }
                 stack.on_upcall(self, up);
             }
         }
@@ -507,6 +544,7 @@ impl<P: Clone> Network<P> {
             _ => SimDuration::ZERO,
         };
         let backoff = mac_cfg.slot * u64::from(mac.draw_backoff(&mut self.mac_rng));
+        self.stats.mac_backoff_draws += 1;
         mac.phase = MacPhase::Contending;
         self.scheduler
             .schedule_in(jitter + mac_cfg.difs + backoff, Event::MacAttempt { node });
@@ -608,6 +646,8 @@ impl<P: Clone> Network<P> {
             let mac_cfg = self.config.mac;
             let backoff =
                 mac_cfg.slot * u64::from(self.macs[node.index()].draw_backoff(&mut self.mac_rng));
+            self.stats.mac_channel_defers += 1;
+            self.stats.mac_backoff_draws += 1;
             let at = idle_at + mac_cfg.difs + backoff;
             self.scheduler.schedule_at(at, Event::MacAttempt { node });
             return Vec::new();
@@ -908,6 +948,7 @@ impl<P: Clone> Network<P> {
         } else {
             mac.grow_cw(mac_cfg.cw_max);
             let backoff = mac_cfg.slot * u64::from(mac.draw_backoff(&mut self.mac_rng));
+            self.stats.mac_backoff_draws += 1;
             mac.phase = MacPhase::Contending;
             self.scheduler
                 .schedule_in(mac_cfg.difs + backoff, Event::MacAttempt { node });
@@ -961,6 +1002,11 @@ impl<P: Clone> Network<P> {
                 let p = self.nodes[i].motion.position(now);
                 self.grid.update(i as u32, p);
             }
+            // Evict expired heartbeat entries. Reads already filter on
+            // expiry, so this never changes `neighbors()` — it only keeps
+            // the maps bounded under churn and mobility (entries for
+            // silent nodes otherwise linger until the node itself fails).
+            self.neighbors[i].retain(|_, &mut expiry| expiry > now);
         }
         self.scheduler
             .schedule_in(SimDuration::from_secs(1), Event::GridRefresh);

@@ -1,5 +1,6 @@
 //! Link-level counters.
 
+use pqs_sim::json::{JsonValue, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Counters maintained by the network substrate.
@@ -24,6 +25,12 @@ pub struct NetStats {
     pub mac_failures: u64,
     /// MAC retransmission attempts (retries only, not first attempts).
     pub mac_retries: u64,
+    /// Contention-window backoff draws (every channel-access attempt
+    /// draws one; retries and deferrals draw again).
+    pub mac_backoff_draws: u64,
+    /// Channel-access attempts deferred because carrier sense found the
+    /// medium busy.
+    pub mac_channel_defers: u64,
     /// Receptions suppressed by injected drops or partitions (all frame
     /// kinds, counted per suppressed receiver).
     pub fault_dropped: u64,
@@ -60,6 +67,8 @@ impl NetStats {
         self.delivered += other.delivered;
         self.mac_failures += other.mac_failures;
         self.mac_retries += other.mac_retries;
+        self.mac_backoff_draws += other.mac_backoff_draws;
+        self.mac_channel_defers += other.mac_channel_defers;
         self.fault_dropped += other.fault_dropped;
         self.fault_delayed += other.fault_delayed;
         self.fault_duplicated += other.fault_duplicated;
@@ -68,6 +77,39 @@ impl NetStats {
         self.unicast_dup_discarded += other.unicast_dup_discarded;
         self.unicast_fault_dropped += other.unicast_fault_dropped;
         self.unicast_lost += other.unicast_lost;
+    }
+}
+
+impl ToJson for NetStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("phy_tx", JsonValue::from(self.phy_tx)),
+            ("data_tx", JsonValue::from(self.data_tx)),
+            ("hello_tx", JsonValue::from(self.hello_tx)),
+            ("ack_tx", JsonValue::from(self.ack_tx)),
+            ("delivered", JsonValue::from(self.delivered)),
+            ("mac_failures", JsonValue::from(self.mac_failures)),
+            ("mac_retries", JsonValue::from(self.mac_retries)),
+            ("mac_backoff_draws", JsonValue::from(self.mac_backoff_draws)),
+            (
+                "mac_channel_defers",
+                JsonValue::from(self.mac_channel_defers),
+            ),
+            ("fault_dropped", JsonValue::from(self.fault_dropped)),
+            ("fault_delayed", JsonValue::from(self.fault_delayed)),
+            ("fault_duplicated", JsonValue::from(self.fault_duplicated)),
+            ("unicast_data_tx", JsonValue::from(self.unicast_data_tx)),
+            ("unicast_delivered", JsonValue::from(self.unicast_delivered)),
+            (
+                "unicast_dup_discarded",
+                JsonValue::from(self.unicast_dup_discarded),
+            ),
+            (
+                "unicast_fault_dropped",
+                JsonValue::from(self.unicast_fault_dropped),
+            ),
+            ("unicast_lost", JsonValue::from(self.unicast_lost)),
+        ])
     }
 }
 
@@ -85,6 +127,8 @@ mod tests {
             delivered: 5,
             mac_failures: 6,
             mac_retries: 7,
+            mac_backoff_draws: 16,
+            mac_channel_defers: 17,
             fault_dropped: 8,
             fault_delayed: 9,
             fault_duplicated: 10,

@@ -226,6 +226,69 @@ fn mobile_nodes_move_and_tables_adapt() {
 }
 
 #[test]
+fn connectivity_graph_matches_brute_force() {
+    // The grid-backed graph must be *identical* to the all-pairs scan —
+    // it is consulted mid-run by the quorum adaptation logic, so even a
+    // single missed edge would change protocol behaviour.
+    let mut cfg = NetConfig::paper(80);
+    cfg.mobility = MobilityModel::fast(10.0);
+    cfg.seed = 21;
+    let mut net = Network::new(cfg);
+    net.schedule_fail(NodeId(3), SimTime::from_secs(2));
+    net.schedule_fail(NodeId(17), SimTime::from_secs(9));
+    net.schedule_join(NodeId(3), SimTime::from_secs(40));
+    let mut rec = Recorder::default();
+    for horizon in [0u64, 3, 10, 31, 77] {
+        net.run(&mut rec, SimTime::from_secs(horizon));
+        let g = net.connectivity_graph();
+        let range = net.config().phy.ideal_range_m;
+        let n = g.node_count();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+                let expected = net.is_alive(a)
+                    && net.is_alive(b)
+                    && net.position(a).distance(net.position(b)) <= range;
+                assert_eq!(
+                    g.has_edge(i, j),
+                    expected,
+                    "pair ({i},{j}) wrong at t={horizon}s"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn neighbour_tables_stay_bounded_on_long_mobile_runs() {
+    // Heartbeat entries for peers that moved away expire but used to be
+    // retained forever (reads filter on expiry, so the leak was
+    // invisible). The periodic purge must keep the raw map close to the
+    // live view: only entries that expired since the last 1 s grid
+    // refresh may linger.
+    let mut cfg = NetConfig::paper(50);
+    cfg.mobility = MobilityModel::fast(20.0);
+    cfg.seed = 22;
+    let mut net = Network::new(cfg);
+    net.schedule_fail(NodeId(7), SimTime::from_secs(30));
+    net.schedule_fail(NodeId(19), SimTime::from_secs(60));
+    let mut rec = Recorder::default();
+    for minute in 1..=5u64 {
+        net.run(&mut rec, SimTime::from_secs(minute * 60));
+        for node in net.alive_nodes() {
+            let raw = net.neighbor_table_size(node);
+            let live = net.neighbors(node).len();
+            assert!(
+                raw <= live + 8,
+                "node {node} retains {raw} entries for {live} live neighbours \
+                 at t={}s",
+                minute * 60
+            );
+        }
+    }
+}
+
+#[test]
 fn deterministic_given_seed() {
     let run = |seed: u64| {
         let mut net = Network::new(static_config(60, seed));

@@ -58,6 +58,60 @@ proptest! {
         }
     }
 
+    /// Under random-waypoint motion, querying the grid (whose recorded
+    /// positions are up to one refresh interval stale) with the
+    /// `grid_slack_m` widening (`2·max_speed·refresh + 5`) returns a
+    /// superset of the exact unit-disk neighbours at any instant within
+    /// the refresh window — the guarantee [`pqs_net::Network`] relies on
+    /// for both reception candidates and the connectivity graph.
+    #[test]
+    fn grid_superset_under_random_waypoint(
+        seed in 0u64..1_000,
+        n in 2usize..40,
+        range in 50.0f64..300.0,
+        max_speed in 1.0f64..20.0,
+        query_ms in 0u64..=1_000,
+    ) {
+        use pqs_net::mobility::{initial_motion, MobilityModel};
+        use pqs_sim::{rng, SimDuration};
+        use rand::Rng;
+
+        let side = 1000.0;
+        let refresh_s = 1.0;
+        let model = MobilityModel::RandomWaypoint {
+            min_speed: 0.5,
+            max_speed,
+            pause: SimDuration::from_secs(1),
+        };
+        let mut r = rng::stream(seed, 7);
+        let motions: Vec<_> = (0..n)
+            .map(|_| {
+                let p = Point::new(r.gen::<f64>() * side, r.gen::<f64>() * side);
+                initial_motion(model, p, side, SimTime::ZERO, &mut r)
+            })
+            .collect();
+        // Refresh instant t0 = 0: index the positions recorded then.
+        let mut grid = SpatialGrid::new(side, 125.0, n);
+        for (i, m) in motions.iter().enumerate() {
+            grid.update(i as u32, m.position(SimTime::ZERO));
+        }
+        // Query at any instant within one refresh interval of the snapshot.
+        let at = SimTime::from_millis(query_ms);
+        let slack = 2.0 * max_speed * refresh_s + 5.0;
+        for (i, mi) in motions.iter().enumerate() {
+            let pi = mi.position(at);
+            let candidates: Vec<u32> = grid.nearby(pi, range + slack).collect();
+            for (j, mj) in motions.iter().enumerate() {
+                if i != j && pi.distance(mj.position(at)) <= range {
+                    prop_assert!(
+                        candidates.contains(&(j as u32)),
+                        "neighbour {} of {} missed at t={}ms", j, i, query_ms
+                    );
+                }
+            }
+        }
+    }
+
     /// A single transmission with no interference is decoded by exactly
     /// the candidates within the ideal range (physical model).
     #[test]

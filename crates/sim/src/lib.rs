@@ -11,7 +11,12 @@
 //! - [`Simulate`] / [`run_until`]: a minimal driver loop,
 //! - [`rng`]: seedable, stream-split random number generators so that every
 //!   component of a simulation draws from an independent, reproducible
-//!   stream.
+//!   stream,
+//! - [`metrics`]: deterministic counters, gauges and fixed-bucket
+//!   latency histograms,
+//! - [`trace`]: a bounded, typed sim-time trace ring,
+//! - [`json`]: a minimal deterministic JSON tree for byte-stable metric
+//!   exports (the vendored `serde` is a no-op stub).
 //!
 //! Determinism is a hard requirement: two runs with the same seed must
 //! produce bit-identical traces. The queue therefore breaks timestamp ties
@@ -48,10 +53,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod metrics;
 mod queue;
 pub mod rng;
 mod scheduler;
 mod time;
+pub mod trace;
 
 pub use queue::{EventId, EventQueue};
 pub use scheduler::{run_until, Scheduler, Simulate};

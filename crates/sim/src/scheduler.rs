@@ -1,5 +1,6 @@
 //! The scheduler: an event queue paired with a virtual clock.
 
+use crate::metrics::Counter;
 use crate::queue::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
@@ -25,6 +26,7 @@ use crate::time::{SimDuration, SimTime};
 pub struct Scheduler<E> {
     queue: EventQueue<E>,
     now: SimTime,
+    clamped: Counter,
 }
 
 impl<E> Scheduler<E> {
@@ -33,6 +35,7 @@ impl<E> Scheduler<E> {
         Scheduler {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            clamped: Counter::new(),
         }
     }
 
@@ -43,17 +46,23 @@ impl<E> Scheduler<E> {
 
     /// Schedules `event` at absolute instant `at`.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `at` is in the past; scheduling into the
-    /// past would break causality.
+    /// Scheduling into the past would break causality; such requests are
+    /// clamped to fire at the current time and *counted* in
+    /// [`Scheduler::clamped_schedules`] so the violation is visible in
+    /// metrics exports rather than silently absorbed (debug and release
+    /// builds behave identically, preserving cross-profile determinism).
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        debug_assert!(
-            at >= self.now,
-            "scheduling into the past: {at} < {}",
-            self.now
-        );
+        if at < self.now {
+            self.clamped.inc();
+        }
         self.queue.schedule(at.max(self.now), event)
+    }
+
+    /// Number of [`Scheduler::schedule_at`] calls whose timestamp lay in
+    /// the past and was clamped to `now` — causality violations by the
+    /// caller. Zero in a healthy simulation.
+    pub fn clamped_schedules(&self) -> u64 {
+        self.clamped.get()
     }
 
     /// Schedules `event` to fire `delay` after the current time.
@@ -196,6 +205,20 @@ mod tests {
         // Events at t=0, 1, 2 fire; the one at t=3 does not.
         assert_eq!(n, 3);
         assert_eq!(sim.scheduler.len(), 1);
+    }
+
+    #[test]
+    fn past_schedules_are_clamped_and_counted() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), "late");
+        s.pop();
+        assert_eq!(s.clamped_schedules(), 0);
+        s.schedule_at(SimTime::from_secs(3), "past");
+        assert_eq!(s.clamped_schedules(), 1);
+        let (at, event) = s.pop().expect("clamped event pending");
+        assert_eq!(at, SimTime::from_secs(10), "fires at now, not in the past");
+        assert_eq!(event, "past");
+        assert_eq!(s.now(), SimTime::from_secs(10));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! A bounded, typed, sim-time trace.
+//!
+//! [`TraceRing`] is a fixed-capacity ring buffer of `(SimTime, E)` pairs
+//! for structured protocol tracing: events are typed values, not
+//! formatted strings, so recording costs one enum move and no formatting
+//! happens unless the trace is actually dumped. When the ring is full the
+//! oldest entries are overwritten and counted in
+//! [`TraceRing::dropped`] — a debugging trace should show the *end* of a
+//! run, and an unbounded trace would dominate memory on long simulations.
+//!
+//! Layers that support tracing hold an `Option<TraceRing<E>>` that is
+//! `None` by default, keeping the disabled hot path to a single branch.
+//!
+//! # Examples
+//!
+//! ```
+//! use pqs_sim::{trace::TraceRing, SimTime};
+//!
+//! let mut ring: TraceRing<&str> = TraceRing::new(2);
+//! ring.push(SimTime::from_secs(1), "first");
+//! ring.push(SimTime::from_secs(2), "second");
+//! ring.push(SimTime::from_secs(3), "third"); // evicts "first"
+//! let got: Vec<_> = ring.iter().map(|(_, e)| *e).collect();
+//! assert_eq!(got, ["second", "third"]);
+//! assert_eq!(ring.dropped(), 1);
+//! ```
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring buffer of timestamped trace events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRing<E> {
+    entries: VecDeque<(SimTime, E)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<E> TraceRing<E> {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event at `at`, evicting the oldest entry when full.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((at, event));
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, E)> {
+        self.entries.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The ring's capacity.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted to make room since creation.
+    pub const fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the ring, returning the retained events oldest-first.
+    pub fn drain(&mut self) -> Vec<(SimTime, E)> {
+        self.entries.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_tail_of_the_stream() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..10u32 {
+            ring.push(SimTime::from_micros(u64::from(i)), i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let kept: Vec<u32> = ring.iter().map(|&(_, e)| e).collect();
+        assert_eq!(kept, [7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = TraceRing::new(0);
+        ring.push(SimTime::ZERO, 'a');
+        ring.push(SimTime::ZERO, 'b');
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.iter().next().map(|&(_, e)| e), Some('b'));
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut ring = TraceRing::new(4);
+        ring.push(SimTime::from_secs(1), "x");
+        ring.push(SimTime::from_secs(2), "y");
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0], (SimTime::from_secs(1), "x"));
+        assert!(ring.is_empty());
+    }
+}

@@ -14,11 +14,17 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> observability: metrics export determinism"
+cargo test -q -p pqs-core --test metrics_determinism
 
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test --workspace -q"
