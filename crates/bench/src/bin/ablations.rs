@@ -3,8 +3,8 @@
 //! default (RANDOM × UNIQUE-PATH), under fast mobility where the
 //! maintenance machinery matters.
 
-use pqs_bench::{bench_workload, f, header, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::RepairMode;
 use pqs_net::{MobilityModel, PhyConfig};
 
@@ -78,10 +78,11 @@ fn main() {
         }),
     ];
 
-    for (name, cfg) in variants {
-        let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+    let cfgs: Vec<ScenarioConfig> = variants.iter().map(|(_, cfg)| cfg.clone()).collect();
+    let aggs = sweep::aggregates(&cfgs, &the_seeds);
+    for ((name, _), agg) in variants.iter().zip(&aggs) {
         row(&[
-            name.into(),
+            (*name).into(),
             f(agg.hit_ratio),
             f(agg.intersection_ratio),
             f(agg.msgs_per_lookup),

@@ -2,13 +2,19 @@
 //! single repo-level `BENCH_SUMMARY.json`: an index of every report
 //! (section titles, row counts, attached metric keys) plus the headline
 //! measured aggregates, sorted by report name so the output is
-//! byte-stable across regenerations.
+//! byte-stable across regenerations. Sweep-performance sidecars
+//! (`*.perf.json` — pool width, job counts, wall-clock) are folded into
+//! a separate `perf` section with a total wall-clock, making the
+//! parallel-sweep speedup visible in the summary trajectory.
+//!
+//! Missing, unreadable or truncated export files are reported and
+//! skipped — one bad file never aborts the whole summary.
 //!
 //! Usage: `bench_summary [results_dir] [output_path]`
 //! (defaults: `bench_results/`, `BENCH_SUMMARY.json`).
 
 use pqs_sim::json::JsonValue;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn main() -> std::io::Result<()> {
     let mut args = std::env::args().skip(1);
@@ -21,43 +27,95 @@ fn main() -> std::io::Result<()> {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_SUMMARY.json"));
 
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "json"))
-        .collect();
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!(
+                "warning: cannot read {}: {e}; writing an empty summary",
+                dir.display()
+            );
+            Vec::new()
+        }
+    };
     paths.sort();
 
     let mut reports = Vec::new();
-    let mut skipped = 0usize;
+    let mut perf_entries = Vec::new();
+    let mut total_wall_ms = 0u64;
+    let mut skipped = Vec::new();
     for path in &paths {
-        let text = std::fs::read_to_string(path)?;
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("skipping {}: unreadable ({e})", path.display());
+                skipped.push(file_name(path));
+                continue;
+            }
+        };
         let Ok(doc) = JsonValue::parse(&text) else {
             eprintln!("skipping {}: not valid JSON", path.display());
-            skipped += 1;
+            skipped.push(file_name(path));
             continue;
         };
-        reports.push(summarize(path, &doc));
+        if is_perf_sidecar(path) {
+            total_wall_ms += doc.get("wall_ms").and_then(|v| v.as_u64()).unwrap_or(0);
+            perf_entries.push(doc);
+        } else {
+            reports.push(summarize(path, &doc));
+        }
     }
 
     let count = reports.len();
-    let summary = JsonValue::object([
+    let skipped_count = skipped.len();
+    let mut summary = JsonValue::object([
         ("results_dir", JsonValue::from(dir.display().to_string())),
         ("report_count", JsonValue::from(count)),
         ("reports", JsonValue::array(reports)),
     ]);
+    if !perf_entries.is_empty() {
+        summary.insert(
+            "perf",
+            JsonValue::object([
+                ("total_wall_ms", JsonValue::from(total_wall_ms)),
+                ("sweeps", JsonValue::array(perf_entries)),
+            ]),
+        );
+    }
+    if !skipped.is_empty() {
+        summary.insert(
+            "skipped",
+            JsonValue::array(skipped.into_iter().map(JsonValue::from)),
+        );
+    }
     std::fs::write(&out, summary.render())?;
     println!(
-        "wrote {} ({count} reports, {skipped} skipped) from {}",
+        "wrote {} ({count} reports, {skipped_count} skipped) from {}",
         out.display(),
         dir.display()
     );
     Ok(())
 }
 
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// `<name>.perf.json` sidecars carry wall-clock sweep stats, not report
+/// content.
+fn is_perf_sidecar(path: &Path) -> bool {
+    path.file_stem()
+        .is_some_and(|s| s.to_string_lossy().ends_with(".perf"))
+}
+
 /// One index entry: name, section titles with row counts, and any
 /// structured metrics the binary attached (copied verbatim — they are
 /// already deterministic, so the summary stays so).
-fn summarize(path: &std::path::Path, doc: &JsonValue) -> JsonValue {
+fn summarize(path: &Path, doc: &JsonValue) -> JsonValue {
     let name = doc
         .get("name")
         .and_then(|v| v.as_str().map(String::from))

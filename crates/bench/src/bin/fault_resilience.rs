@@ -7,7 +7,7 @@
 //! Both experiments drive the fault subsystem through `FaultPlan`, so
 //! every run is reproducible from `(scenario, seed)` alone.
 
-use pqs_bench::{bench_workload, f, header, row, seeds};
+use pqs_bench::{bench_workload, f, header, row, seeds, sweep};
 use pqs_core::analysis::{intersection_after_churn, ChurnRegime};
 use pqs_core::runner::{run_scenario, ScenarioConfig};
 use pqs_core::workload::WorkloadConfig;
@@ -43,7 +43,26 @@ fn degradation(seed_list: &[u64]) {
         &format!("measured vs §6.1 closed form: crash fraction f before lookups (n = {n}, eps0 = {eps0:.3})"),
         &["f", "closed form", "measured", "delta"],
     );
-    for frac in [0.0, 0.1, 0.2, 0.3] {
+    // The fault plan depends on the seed, so each (frac, seed) cell is
+    // its own scenario — one pool job per cell.
+    let fracs = [0.0, 0.1, 0.2, 0.3];
+    let jobs: Vec<_> = fracs
+        .iter()
+        .flat_map(|&frac| {
+            seed_list.iter().map(move |&seed| {
+                move || {
+                    let mut cfg = ScenarioConfig::paper(n);
+                    cfg.workload = bench_workload(20, 60, n);
+                    if frac > 0.0 {
+                        cfg.faults = Some(crash_plan(n, frac, seed, &cfg));
+                    }
+                    run_scenario(&cfg, seed)
+                }
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(jobs);
+    for (chunk, &frac) in results.chunks(seed_list.len()).zip(&fracs) {
         let predicted = intersection_after_churn(
             eps0,
             frac,
@@ -52,13 +71,7 @@ fn degradation(seed_list: &[u64]) {
             },
         );
         let (mut hits, mut lookups) = (0usize, 0usize);
-        for &seed in seed_list {
-            let mut cfg = ScenarioConfig::paper(n);
-            cfg.workload = bench_workload(20, 60, n);
-            if frac > 0.0 {
-                cfg.faults = Some(crash_plan(n, frac, seed, &cfg));
-            }
-            let m = run_scenario(&cfg, seed);
+        for m in chunk {
             hits += m.hits;
             lookups += m.lookups;
         }
@@ -89,19 +102,33 @@ fn retry_recovery(seed_list: &[u64]) {
             "exhausted",
         ],
     );
-    for drop in [0.10, 0.20, 0.30] {
-        let run = |seed: u64, retry: Option<RetryPolicy>| {
-            let mut cfg = ScenarioConfig::paper(n);
-            cfg.workload = WorkloadConfig::small(8, 30);
-            cfg.faults = Some(FaultPlan::new().drop_frames(drop));
-            cfg.service.retry = retry;
-            run_scenario(&cfg, seed)
-        };
+    // One pool job per (drop, seed, policy) triple: the plain and the
+    // retrying run of a cell are independent simulations.
+    let drops = [0.10, 0.20, 0.30];
+    let jobs: Vec<_> = drops
+        .iter()
+        .flat_map(|&drop| {
+            seed_list.iter().flat_map(move |&seed| {
+                [None, Some(RetryPolicy::default_policy())]
+                    .into_iter()
+                    .map(move |retry| {
+                        move || {
+                            let mut cfg = ScenarioConfig::paper(n);
+                            cfg.workload = WorkloadConfig::small(8, 30);
+                            cfg.faults = Some(FaultPlan::new().drop_frames(drop));
+                            cfg.service.retry = retry;
+                            run_scenario(&cfg, seed)
+                        }
+                    })
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(jobs);
+    for (chunk, &drop) in results.chunks(2 * seed_list.len()).zip(&drops) {
         let (mut plain_hits, mut retry_hits, mut lookups) = (0usize, 0usize, 0usize);
         let (mut retries, mut exhausted) = (0u64, 0u64);
-        for &seed in seed_list {
-            let plain = run(seed, None);
-            let retried = run(seed, Some(RetryPolicy::default_policy()));
+        for pair in chunk.chunks(2) {
+            let (plain, retried) = (&pair[0], &pair[1]);
             plain_hits += plain.hits;
             retry_hits += retried.hits;
             lookups += plain.lookups;

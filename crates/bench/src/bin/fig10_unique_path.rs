@@ -3,14 +3,35 @@
 //! grows. The headline numbers of the paper: 0.9 hit at |Qℓ| ≈ 1.15√n,
 //! costing *fewer than |Qℓ|* messages including the reply.
 
-use pqs_bench::{bench_workload, f, header, network_sizes, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, network_sizes, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_net::MobilityModel;
 
 fn main() {
     let factors = [0.5, 0.75, 1.0, 1.15, 1.5, 2.0];
     let the_seeds = seeds(2);
+    let sizes = network_sizes();
+
+    let quorums: Vec<(usize, u32)> = sizes
+        .iter()
+        .flat_map(|&n| {
+            factors
+                .iter()
+                .map(move |&factor| (n, (factor * (n as f64).sqrt()).round().max(1.0) as u32))
+        })
+        .collect();
+    let cfgs: Vec<ScenarioConfig> = quorums
+        .iter()
+        .map(|&(n, ql)| {
+            let mut cfg = ScenarioConfig::paper(n);
+            cfg.net.mobility = MobilityModel::walking();
+            cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::UniquePath, ql);
+            cfg.workload = bench_workload(30, 150, n);
+            cfg
+        })
+        .collect();
+    let aggs = sweep::aggregates(&cfgs, &the_seeds);
 
     header(
         "Fig. 10(a,b): UNIQUE-PATH lookup hit ratio vs |Ql| (mobile 0.5-2 m/s)",
@@ -25,16 +46,14 @@ fn main() {
         ],
     );
     let mut msgs_rows = Vec::new();
-    for n in network_sizes() {
+    for ((chunk, quorum_chunk), n) in aggs
+        .chunks(factors.len())
+        .zip(quorums.chunks(factors.len()))
+        .zip(&sizes)
+    {
         let mut hit_cells = vec![n.to_string()];
         let mut msg_cells = vec![n.to_string()];
-        for &factor in &factors {
-            let ql = (factor * (n as f64).sqrt()).round().max(1.0) as u32;
-            let mut cfg = ScenarioConfig::paper(n);
-            cfg.net.mobility = MobilityModel::walking();
-            cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::UniquePath, ql);
-            cfg.workload = bench_workload(30, 150, n);
-            let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+        for (agg, &(_, ql)) in chunk.iter().zip(quorum_chunk) {
             hit_cells.push(f(agg.hit_ratio));
             msg_cells.push(format!("{} (Q={ql})", f(agg.msgs_per_lookup)));
         }

@@ -2,8 +2,8 @@
 //! messages per lookup as the flood TTL grows, static and mobile. The
 //! figure demonstrates flooding's coarse coverage granularity.
 
-use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_net::MobilityModel;
 
@@ -12,6 +12,25 @@ fn main() {
     let the_seeds = seeds(2);
     let sizes = [200usize, largest_n()];
 
+    let cfgs: Vec<ScenarioConfig> = [false, true]
+        .iter()
+        .flat_map(|&mobile| {
+            sizes.iter().flat_map(move |&n| {
+                ttls.into_iter().map(move |ttl| {
+                    let mut cfg = ScenarioConfig::paper(n);
+                    if mobile {
+                        cfg.net.mobility = MobilityModel::walking();
+                    }
+                    cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::Flooding, ttl);
+                    cfg.workload = bench_workload(30, 120, n);
+                    cfg
+                })
+            })
+        })
+        .collect();
+    let aggs = sweep::aggregates(&cfgs, &the_seeds);
+
+    let mut agg_rows = aggs.chunks(ttls.len());
     for mobile in [false, true] {
         let label = if mobile { "mobile 0.5-2 m/s" } else { "static" };
         header(
@@ -19,15 +38,9 @@ fn main() {
             &["n \\ TTL", "1", "2", "3", "4", "5"],
         );
         for &n in &sizes {
+            let chunk = agg_rows.next().expect("one chunk per (mobility, n)");
             let mut cells = vec![n.to_string()];
-            for &ttl in &ttls {
-                let mut cfg = ScenarioConfig::paper(n);
-                if mobile {
-                    cfg.net.mobility = MobilityModel::walking();
-                }
-                cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::Flooding, ttl);
-                cfg.workload = bench_workload(30, 120, n);
-                let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+            for agg in chunk {
                 cells.push(format!("{}|{}", f(agg.hit_ratio), f(agg.msgs_per_lookup)));
             }
             row(&cells);

@@ -4,8 +4,8 @@
 //! Θ(n/log n); the paper measures 0.9 hit at a combined length ≈ n/2.
 //! Also prints the crossing-time scaling check for Theorem 5.5.
 
-use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_graph::rgg::RggConfig;
 use pqs_graph::walks::{crossing_steps, WalkKind};
@@ -14,6 +14,25 @@ use pqs_sim::rng;
 fn main() {
     let n = largest_n();
     let the_seeds = seeds(2);
+
+    let fractions = [16.0, 8.0, 4.7, 3.0, 2.0];
+    let sides: Vec<u32> = fractions
+        .iter()
+        .map(|&frac| (n as f64 / frac / 2.0).round().max(2.0) as u32)
+        .collect();
+    let cfgs: Vec<ScenarioConfig> = sides
+        .iter()
+        .map(|&each| {
+            let mut cfg = ScenarioConfig::paper(n);
+            cfg.service.spec = pqs_core::BiquorumSpec::new(
+                QuorumSpec::new(AccessStrategy::UniquePath, each),
+                QuorumSpec::new(AccessStrategy::UniquePath, each),
+            );
+            cfg.workload = bench_workload(30, 120, n);
+            cfg
+        })
+        .collect();
+    let aggs = sweep::aggregates(&cfgs, &the_seeds);
 
     header(
         &format!("Fig. 12: UNIQUE-PATH x UNIQUE-PATH, n = {n} (|Qa| = |Ql|)"),
@@ -25,16 +44,7 @@ fn main() {
             "msgs/advertise",
         ],
     );
-    let fractions = [16.0, 8.0, 4.7, 3.0, 2.0];
-    for &frac in &fractions {
-        let each = (n as f64 / frac / 2.0).round().max(2.0) as u32;
-        let mut cfg = ScenarioConfig::paper(n);
-        cfg.service.spec = pqs_core::BiquorumSpec::new(
-            QuorumSpec::new(AccessStrategy::UniquePath, each),
-            QuorumSpec::new(AccessStrategy::UniquePath, each),
-        );
-        cfg.workload = bench_workload(30, 120, n);
-        let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+    for ((agg, &each), &frac) in aggs.iter().zip(&sides).zip(&fractions) {
         row(&[
             format!("{} (n/{frac:.1})", 2 * each),
             each.to_string(),
@@ -48,29 +58,51 @@ fn main() {
     println!("the right length depends on the topology (no generic sizing rule).");
 
     // Theorem 5.5: crossing time grows like r^-2 — halving the radius
-    // (quartering r^2) roughly quadruples the crossing time.
+    // (quartering r^2) roughly quadruples the crossing time. One pool
+    // job per (r, seed); the per-pair step counts are folded on the main
+    // thread in the original order.
+    let radii = [0.12f64, 0.08, 0.06];
+    let cross_seeds = seeds(3);
+    let cross_jobs: Vec<_> = radii
+        .iter()
+        .flat_map(|&r| {
+            cross_seeds.iter().map(move |&seed| {
+                move || {
+                    let mut gr = rng::stream(seed, 55);
+                    let net = RggConfig::unit(1000, r).generate(&mut gr);
+                    let comp = net.graph().components().remove(0);
+                    let mut steps = Vec::new();
+                    if comp.len() < 900 {
+                        return steps;
+                    }
+                    for i in 0..6 {
+                        let u = comp[i * comp.len() / 6];
+                        let v = comp[(i * comp.len() / 6 + comp.len() / 2) % comp.len()];
+                        let mut wr = rng::stream(seed * 31 + i as u64, 56);
+                        if let Some(t) =
+                            crossing_steps(net.graph(), u, v, WalkKind::Simple, &mut wr)
+                        {
+                            steps.push(t as f64);
+                        }
+                    }
+                    steps
+                }
+            })
+        })
+        .collect();
+    let cross_results = sweep::run_jobs(cross_jobs);
+
     header(
         "Theorem 5.5: crossing time of two simple RWs on G2(n=1000, r)",
         &["r", "measured steps", "r^-2 scale"],
     );
-    for &r in &[0.12f64, 0.08, 0.06] {
+    for (chunk, &r) in cross_results.chunks(cross_seeds.len()).zip(&radii) {
         let mut total = 0.0;
         let mut count = 0.0f64;
-        for seed in seeds(3) {
-            let mut gr = rng::stream(seed, 55);
-            let net = RggConfig::unit(1000, r).generate(&mut gr);
-            let comp = net.graph().components().remove(0);
-            if comp.len() < 900 {
-                continue;
-            }
-            for i in 0..6 {
-                let u = comp[i * comp.len() / 6];
-                let v = comp[(i * comp.len() / 6 + comp.len() / 2) % comp.len()];
-                let mut wr = rng::stream(seed * 31 + i as u64, 56);
-                if let Some(t) = crossing_steps(net.graph(), u, v, WalkKind::Simple, &mut wr) {
-                    total += t as f64;
-                    count += 1.0;
-                }
+        for per_seed in chunk {
+            for &t in per_seed {
+                total += t;
+                count += 1.0;
             }
         }
         row(&[format!("{r}"), f(total / count.max(1.0)), f(1.0 / (r * r))]);

@@ -2,14 +2,28 @@
 //! degrades with speed, the intersection probability itself does not
 //! (RW salvation at work), and the gap is exactly the dropped replies.
 
-use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::RepairMode;
 use pqs_net::MobilityModel;
 
 fn main() {
     let n = largest_n();
     let the_seeds = seeds(2);
+    let speeds = [2.0, 5.0, 10.0, 20.0];
+
+    let cfgs: Vec<ScenarioConfig> = speeds
+        .iter()
+        .map(|&speed| {
+            let mut cfg = ScenarioConfig::paper(n);
+            cfg.net.mobility = MobilityModel::fast(speed);
+            cfg.service.repair = RepairMode::None;
+            cfg.workload = bench_workload(30, 150, n);
+            cfg
+        })
+        .collect();
+    let all_runs = sweep::runs(&cfgs, &the_seeds);
+
     header(
         &format!("Fig. 13: fast mobility, NO reply-path repair, n = {n}"),
         &[
@@ -20,13 +34,8 @@ fn main() {
             "salvations/lkp",
         ],
     );
-    for &speed in &[2.0, 5.0, 10.0, 20.0] {
-        let mut cfg = ScenarioConfig::paper(n);
-        cfg.net.mobility = MobilityModel::fast(speed);
-        cfg.service.repair = RepairMode::None;
-        cfg.workload = bench_workload(30, 150, n);
-        let runs = run_seeds(&cfg, &the_seeds);
-        let agg = pqs_core::runner::aggregate(&runs);
+    for (runs, &speed) in all_runs.iter().zip(&speeds) {
+        let agg = pqs_core::runner::aggregate(runs);
         let salvages: f64 = runs
             .iter()
             .map(|r| r.counters.salvations as f64 / r.lookups as f64)

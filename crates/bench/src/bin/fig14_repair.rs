@@ -3,8 +3,8 @@
 //! ratio is restored at the price of some routing; a proactively larger
 //! advertise quorum (3√n) helps further.
 
-use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_core::RepairMode;
 use pqs_net::MobilityModel;
@@ -12,6 +12,23 @@ use pqs_net::MobilityModel;
 fn main() {
     let n = largest_n();
     let the_seeds = seeds(2);
+    let speeds = [2.0, 5.0, 10.0, 20.0];
+
+    let speed_cfgs: Vec<ScenarioConfig> = speeds
+        .iter()
+        .map(|&speed| {
+            let mut cfg = ScenarioConfig::paper(n);
+            cfg.net.mobility = MobilityModel::fast(speed);
+            cfg.service.repair = RepairMode::Local {
+                ttl: 3,
+                global_fallback: true,
+            };
+            cfg.workload = bench_workload(30, 150, n);
+            cfg
+        })
+        .collect();
+    let speed_runs = sweep::runs(&speed_cfgs, &the_seeds);
+
     header(
         &format!("Fig. 14(a-d): fast mobility WITH local repair, n = {n}"),
         &[
@@ -23,16 +40,8 @@ fn main() {
             "repairs/lkp",
         ],
     );
-    for &speed in &[2.0, 5.0, 10.0, 20.0] {
-        let mut cfg = ScenarioConfig::paper(n);
-        cfg.net.mobility = MobilityModel::fast(speed);
-        cfg.service.repair = RepairMode::Local {
-            ttl: 3,
-            global_fallback: true,
-        };
-        cfg.workload = bench_workload(30, 150, n);
-        let runs = run_seeds(&cfg, &the_seeds);
-        let agg = pqs_core::runner::aggregate(&runs);
+    for (runs, &speed) in speed_runs.iter().zip(&speeds) {
+        let agg = pqs_core::runner::aggregate(runs);
         let repairs: f64 = runs
             .iter()
             .map(|r| {
@@ -50,26 +59,36 @@ fn main() {
         ]);
     }
 
+    let factors = [2.0, 3.0];
+    let proactive_cfgs: Vec<ScenarioConfig> = factors
+        .iter()
+        .map(|&factor| {
+            let qa = (factor * (n as f64).sqrt()).round() as u32;
+            let mut cfg = ScenarioConfig::paper(n);
+            cfg.net.mobility = MobilityModel::fast(20.0);
+            cfg.service.spec.advertise = QuorumSpec::new(AccessStrategy::Random, qa);
+            cfg.service.membership_view_factor = factor.max(2.0);
+            cfg.service.repair = RepairMode::Local {
+                ttl: 3,
+                global_fallback: true,
+            };
+            cfg.workload = bench_workload(30, 150, n);
+            // A larger advertise quorum sends proportionally more routed
+            // stores: widen the advertise window so the comparison is not
+            // confounded by extra contention.
+            cfg.workload.advertise_window =
+                cfg.workload.advertise_window * (factor * 2.0) as u64 / 4;
+            cfg
+        })
+        .collect();
+    let proactive_aggs = sweep::aggregates(&proactive_cfgs, &the_seeds);
+
     header(
         &format!("Fig. 14(e): proactive |Qa| = 3*sqrt(n) at 20 m/s, n = {n}"),
         &["advertise |Q|", "hit ratio", "intersection"],
     );
-    for factor in [2.0, 3.0] {
+    for (agg, &factor) in proactive_aggs.iter().zip(&factors) {
         let qa = (factor * (n as f64).sqrt()).round() as u32;
-        let mut cfg = ScenarioConfig::paper(n);
-        cfg.net.mobility = MobilityModel::fast(20.0);
-        cfg.service.spec.advertise = QuorumSpec::new(AccessStrategy::Random, qa);
-        cfg.service.membership_view_factor = factor.max(2.0);
-        cfg.service.repair = RepairMode::Local {
-            ttl: 3,
-            global_fallback: true,
-        };
-        cfg.workload = bench_workload(30, 150, n);
-        // A larger advertise quorum sends proportionally more routed
-        // stores: widen the advertise window so the comparison is not
-        // confounded by extra contention.
-        cfg.workload.advertise_window = cfg.workload.advertise_window * (factor * 2.0) as u64 / 4;
-        let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
         row(&[
             format!("{factor}√n = {qa}"),
             f(agg.hit_ratio),

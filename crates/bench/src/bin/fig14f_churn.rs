@@ -4,9 +4,9 @@
 //! the lookup quorum is adjusted to the new size. Compared against the
 //! §6.1 closed form.
 
-use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds, sweep};
 use pqs_core::analysis::{intersection_after_churn, ChurnRegime};
-use pqs_core::runner::{run_seeds, ChurnPlan, ScenarioConfig};
+use pqs_core::runner::{ChurnPlan, ScenarioConfig};
 
 fn main() {
     let n = largest_n();
@@ -21,6 +21,23 @@ fn main() {
             .intersection_lower_bound(n)
             .expect("RANDOM side");
 
+    let fracs = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let cfgs: Vec<ScenarioConfig> = fracs
+        .iter()
+        .map(|&fr| {
+            let mut cfg = base.clone();
+            if fr > 0.0 {
+                cfg.churn = Some(ChurnPlan {
+                    fail_fraction: fr,
+                    join_fraction: fr,
+                    adjust_lookup: true,
+                });
+            }
+            cfg
+        })
+        .collect();
+    let aggs = sweep::aggregates(&cfgs, &the_seeds);
+
     header(
         &format!("Fig. 14(f): churn degradation, n = {n}, d = 15, eps0 = {eps0:.3}"),
         &[
@@ -31,16 +48,7 @@ fn main() {
             "analytic fail-only",
         ],
     );
-    for &fr in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
-        let mut cfg = base.clone();
-        if fr > 0.0 {
-            cfg.churn = Some(ChurnPlan {
-                fail_fraction: fr,
-                join_fraction: fr,
-                adjust_lookup: true,
-            });
-        }
-        let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+    for (agg, &fr) in aggs.iter().zip(&fracs) {
         row(&[
             f(fr),
             f(agg.intersection_ratio),

@@ -2,8 +2,8 @@
 //! per lookup for UNIQUE-PATH, FLOODING and RANDOM-OPT against a RANDOM
 //! advertise quorum. Each strategy is swept over its control parameter.
 
-use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_core::Fanout;
 
@@ -23,6 +23,22 @@ fn main() {
         (AccessStrategy::RandomOpt, vec![1, 2, 4, 6]),
     ];
 
+    let cells: Vec<(AccessStrategy, u32)> = sweeps
+        .iter()
+        .flat_map(|(strategy, params)| params.iter().map(move |&p| (*strategy, p)))
+        .collect();
+    let cfgs: Vec<ScenarioConfig> = cells
+        .iter()
+        .map(|&(strategy, param)| {
+            let mut cfg = ScenarioConfig::paper(n);
+            cfg.service.spec.lookup = QuorumSpec::new(strategy, param);
+            cfg.service.lookup_fanout = Fanout::Parallel;
+            cfg.workload = bench_workload(30, 150, n);
+            cfg
+        })
+        .collect();
+    let aggs = sweep::aggregates(&cfgs, &the_seeds);
+
     header(
         &format!("Fig. 15: hit ratio vs msgs/lookup, RANDOM advertise, n = {n}"),
         &[
@@ -33,21 +49,14 @@ fn main() {
             "+routing/lkp",
         ],
     );
-    for (strategy, params) in sweeps {
-        for &param in &params {
-            let mut cfg = ScenarioConfig::paper(n);
-            cfg.service.spec.lookup = QuorumSpec::new(strategy, param);
-            cfg.service.lookup_fanout = Fanout::Parallel;
-            cfg.workload = bench_workload(30, 150, n);
-            let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
-            row(&[
-                strategy.to_string(),
-                param.to_string(),
-                f(agg.msgs_per_lookup),
-                f(agg.hit_ratio),
-                f(agg.routing_per_lookup),
-            ]);
-        }
+    for (agg, &(strategy, param)) in aggs.iter().zip(&cells) {
+        row(&[
+            strategy.to_string(),
+            param.to_string(),
+            f(agg.msgs_per_lookup),
+            f(agg.hit_ratio),
+            f(agg.routing_per_lookup),
+        ]);
     }
     println!("\nPaper check (Fig. 15 / §8.8): FLOODING is competitive at low hit");
     println!("ratios but its last TTL step is disproportionately expensive;");

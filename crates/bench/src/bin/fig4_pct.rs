@@ -3,12 +3,14 @@
 //! network sizes and densities; simple (PATH) vs self-avoiding
 //! (UNIQUE-PATH) walks. Also checks Theorem 4.1 (PCT(t) ≤ 2αt).
 
-use pqs_bench::{f, header, row, seeds};
+use pqs_bench::{f, header, row, seeds, sweep};
 use pqs_graph::rgg::RggConfig;
 use pqs_graph::walks::{pct_profile, WalkKind};
 use pqs_sim::rng;
 
 /// Mean steps-per-unique-node profile over several graphs and starts.
+/// Sequential inside one pool job, so every profile is bit-identical at
+/// any pool width.
 fn profile(n: usize, d_avg: f64, upto: usize, kind: WalkKind) -> Vec<f64> {
     let mut sums = vec![0.0f64; upto];
     let mut count = 0.0f64;
@@ -34,14 +36,40 @@ fn profile(n: usize, d_avg: f64, upto: usize, kind: WalkKind) -> Vec<f64> {
 
 fn main() {
     let checkpoints = [10usize, 20, 30, 40, 60];
+    let profile_sizes = [100usize, 200, 400, 800];
+    let densities = [7.0, 10.0, 15.0, 20.0, 25.0];
+    let unique_densities = [7.0, 10.0, 15.0, 25.0];
+
+    // Every profile of the four sections is one pool job; results come
+    // back grouped per section, in row order.
+    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = Vec::new();
+    for &n in &profile_sizes {
+        jobs.push(Box::new(move || profile(n, 10.0, 61, WalkKind::Simple)));
+    }
+    for &d in &densities {
+        jobs.push(Box::new(move || profile(400, d, 61, WalkKind::Simple)));
+    }
+    for &n in &profile_sizes {
+        let target = (n as f64).sqrt().round() as usize;
+        jobs.push(Box::new(move || profile(n, 10.0, target, WalkKind::Simple)));
+        jobs.push(Box::new(move || {
+            profile(n, 10.0, target, WalkKind::SelfAvoiding)
+        }));
+    }
+    for &d in &unique_densities {
+        jobs.push(Box::new(move || {
+            profile(400, d, 61, WalkKind::SelfAvoiding)
+        }));
+    }
+    let mut results = sweep::run_jobs(jobs).into_iter();
 
     // (a) simple walk, varying n, d_avg = 10.
     header(
         "Fig. 4(a): simple RW, steps per unique node (d_avg = 10)",
         &["n \\ unique", "10", "20", "30", "40", "60"],
     );
-    for n in [100usize, 200, 400, 800] {
-        let p = profile(n, 10.0, 61, WalkKind::Simple);
+    for n in profile_sizes {
+        let p = results.next().expect("profile per row");
         let mut cells = vec![n.to_string()];
         cells.extend(checkpoints.iter().map(|&k| f(p[k - 1])));
         row(&cells);
@@ -52,8 +80,8 @@ fn main() {
         "Fig. 4(b): simple RW, varying density (n = 400)",
         &["d_avg \\ unique", "10", "20", "30", "40", "60"],
     );
-    for d in [7.0, 10.0, 15.0, 20.0, 25.0] {
-        let p = profile(400, d, 61, WalkKind::Simple);
+    for d in densities {
+        let p = results.next().expect("profile per row");
         let mut cells = vec![format!("{d}")];
         cells.extend(checkpoints.iter().map(|&k| f(p[k - 1])));
         row(&cells);
@@ -64,10 +92,10 @@ fn main() {
         "Fig. 4(c): PCT(sqrt(n)) / sqrt(n) (paper: <= 1.7)",
         &["n", "simple RW", "unique RW"],
     );
-    for n in [100usize, 200, 400, 800] {
+    for n in profile_sizes {
         let target = (n as f64).sqrt().round() as usize;
-        let ps = profile(n, 10.0, target, WalkKind::Simple);
-        let pu = profile(n, 10.0, target, WalkKind::SelfAvoiding);
+        let ps = results.next().expect("simple profile");
+        let pu = results.next().expect("unique profile");
         row(&[n.to_string(), f(ps[target - 1]), f(pu[target - 1])]);
     }
 
@@ -76,8 +104,8 @@ fn main() {
         "Fig. 4(d): UNIQUE-PATH steps per unique node (n = 400)",
         &["d_avg \\ unique", "10", "20", "30", "40", "60"],
     );
-    for d in [7.0, 10.0, 15.0, 25.0] {
-        let p = profile(400, d, 61, WalkKind::SelfAvoiding);
+    for d in unique_densities {
+        let p = results.next().expect("profile per row");
         let mut cells = vec![format!("{d}")];
         cells.extend(checkpoints.iter().map(|&k| f(p[k - 1])));
         row(&cells);

@@ -2,39 +2,55 @@
 //! (a, b) and the coverage granularity `CG(i) = N_i / N_{i-1}` (c, d),
 //! for varying network sizes and densities.
 
-use pqs_bench::{bench_workload, f, header, network_sizes, row, seeds};
-use pqs_core::runner::{run_scenario, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, network_sizes, row, seeds, sweep};
+use pqs_core::runner::{RunMetrics, ScenarioConfig};
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 
-/// Mean nodes covered by one flood of the given TTL.
-fn coverage(n: usize, d_avg: f64, ttl: u32, the_seeds: &[u64]) -> f64 {
-    let mut total = 0.0;
-    for &seed in the_seeds {
-        let mut cfg = ScenarioConfig::paper(n);
-        cfg.net.avg_degree = d_avg;
-        cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::Flooding, ttl);
-        // Pure coverage measurement: flood lookups for absent keys.
-        cfg.workload = bench_workload(0, 25, n);
-        let m = run_scenario(&cfg, seed);
-        total += m.counters.flood_covered as f64 / m.lookups as f64;
-    }
-    total / the_seeds.len() as f64
+fn flood_cfg(n: usize, d_avg: f64, ttl: u32) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(n);
+    cfg.net.avg_degree = d_avg;
+    cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::Flooding, ttl);
+    // Pure coverage measurement: flood lookups for absent keys.
+    cfg.workload = bench_workload(0, 25, n);
+    cfg
+}
+
+/// Mean nodes covered by one flood, over the per-seed runs of one cell.
+fn coverage(runs: &[RunMetrics]) -> f64 {
+    let total: f64 = runs
+        .iter()
+        .map(|m| m.counters.flood_covered as f64 / m.lookups as f64)
+        .sum();
+    total / runs.len() as f64
 }
 
 fn main() {
     let ttls = [1u32, 2, 3, 4, 5, 6];
     let the_seeds = seeds(2);
+    let sizes = network_sizes();
+    let densities = [7.0, 10.0, 15.0, 20.0, 25.0];
+
+    // Both sweeps — (n × TTL) at d = 10 and (density × TTL) at n = 400 —
+    // go to the pool as one batch of (scenario × seed) jobs.
+    let mut cfgs: Vec<ScenarioConfig> = sizes
+        .iter()
+        .flat_map(|&n| ttls.iter().map(move |&t| flood_cfg(n, 10.0, t)))
+        .collect();
+    cfgs.extend(
+        densities
+            .iter()
+            .flat_map(|&d| ttls.iter().map(move |&t| flood_cfg(400, d, t))),
+    );
+    let all_runs = sweep::runs(&cfgs, &the_seeds);
+    let (size_runs, density_runs) = all_runs.split_at(sizes.len() * ttls.len());
 
     header(
         "Fig. 5(a): nodes covered vs TTL (d_avg = 10)",
         &["n \\ TTL", "1", "2", "3", "4", "5", "6"],
     );
     let mut by_n: Vec<(usize, Vec<f64>)> = Vec::new();
-    for n in network_sizes() {
-        let cov: Vec<f64> = ttls
-            .iter()
-            .map(|&t| coverage(n, 10.0, t, &the_seeds))
-            .collect();
+    for (chunk, &n) in size_runs.chunks(ttls.len()).zip(&sizes) {
+        let cov: Vec<f64> = chunk.iter().map(|runs| coverage(runs)).collect();
         row(&std::iter::once(n.to_string())
             .chain(cov.iter().map(|&c| f(c)))
             .collect::<Vec<_>>());
@@ -57,11 +73,8 @@ fn main() {
         &["d \\ TTL", "1", "2", "3", "4", "5", "6"],
     );
     let mut by_d: Vec<(f64, Vec<f64>)> = Vec::new();
-    for d in [7.0, 10.0, 15.0, 20.0, 25.0] {
-        let cov: Vec<f64> = ttls
-            .iter()
-            .map(|&t| coverage(400, d, t, &the_seeds))
-            .collect();
+    for (chunk, &d) in density_runs.chunks(ttls.len()).zip(&densities) {
+        let cov: Vec<f64> = chunk.iter().map(|runs| coverage(runs)).collect();
         row(&std::iter::once(format!("{d}"))
             .chain(cov.iter().map(|&c| f(c)))
             .collect::<Vec<_>>());

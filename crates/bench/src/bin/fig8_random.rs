@@ -3,28 +3,39 @@
 //! RANDOM lookup hit ratio as the lookup quorum grows. Static networks,
 //! d_avg = 10.
 
-use pqs_bench::{bench_workload, f, header, network_sizes, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, network_sizes, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_core::Fanout;
 
 fn main() {
     let factors = [0.5, 1.0, 1.5, 2.0, 2.5];
     let the_seeds = seeds(2);
+    let sizes = network_sizes();
 
-    // (a)+(b): messages per advertise vs |Qa| = factor*sqrt(n).
+    // (a)+(b): messages per advertise vs |Qa| = factor*sqrt(n). One
+    // scenario per (n, factor) cell, all submitted to the pool at once.
+    let advertise_cfgs: Vec<ScenarioConfig> = sizes
+        .iter()
+        .flat_map(|&n| {
+            factors.iter().map(move |&factor| {
+                let qa = (factor * (n as f64).sqrt()).round().max(1.0) as u32;
+                let mut cfg = ScenarioConfig::paper(n);
+                cfg.service.spec.advertise = QuorumSpec::new(AccessStrategy::Random, qa);
+                cfg.workload = bench_workload(30, 0, n);
+                cfg
+            })
+        })
+        .collect();
+    let advertise_aggs = sweep::aggregates(&advertise_cfgs, &the_seeds);
+
     header(
         "Fig. 8(a,b): RANDOM advertise cost (app msgs | +routing overhead)",
         &["n \\ |Qa|", "0.5√n", "1.0√n", "1.5√n", "2.0√n", "2.5√n"],
     );
-    for n in network_sizes() {
+    for (chunk, n) in advertise_aggs.chunks(factors.len()).zip(&sizes) {
         let mut cells = vec![n.to_string()];
-        for &factor in &factors {
-            let qa = (factor * (n as f64).sqrt()).round().max(1.0) as u32;
-            let mut cfg = ScenarioConfig::paper(n);
-            cfg.service.spec.advertise = QuorumSpec::new(AccessStrategy::Random, qa);
-            cfg.workload = bench_workload(30, 0, n);
-            let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+        for agg in chunk {
             cells.push(format!(
                 "{}|{}",
                 f(agg.msgs_per_advertise),
@@ -38,21 +49,29 @@ fn main() {
     }
 
     // (c): RANDOM lookup hit ratio vs |Ql|.
+    let lookup_factors = [0.5, 0.75, 1.0, 1.15, 1.5];
+    let lookup_cfgs: Vec<ScenarioConfig> = sizes
+        .iter()
+        .flat_map(|&n| {
+            lookup_factors.iter().map(move |&factor| {
+                let ql = (factor * (n as f64).sqrt()).round().max(1.0) as u32;
+                let mut cfg = ScenarioConfig::paper(n);
+                cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::Random, ql);
+                cfg.service.lookup_fanout = Fanout::Serial;
+                cfg.workload = bench_workload(30, 150, n);
+                cfg
+            })
+        })
+        .collect();
+    let lookup_aggs = sweep::aggregates(&lookup_cfgs, &the_seeds);
+
     header(
         "Fig. 8(c): RANDOM lookup hit ratio vs |Ql| (advertise 2√n)",
         &["n \\ |Ql|", "0.5√n", "0.75√n", "1.0√n", "1.15√n", "1.5√n"],
     );
-    for n in network_sizes() {
+    for (chunk, n) in lookup_aggs.chunks(lookup_factors.len()).zip(&sizes) {
         let mut cells = vec![n.to_string()];
-        for &factor in &[0.5, 0.75, 1.0, 1.15, 1.5] {
-            let ql = (factor * (n as f64).sqrt()).round().max(1.0) as u32;
-            let mut cfg = ScenarioConfig::paper(n);
-            cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::Random, ql);
-            cfg.service.lookup_fanout = Fanout::Serial;
-            cfg.workload = bench_workload(30, 150, n);
-            let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
-            cells.push(f(agg.hit_ratio));
-        }
+        cells.extend(chunk.iter().map(|agg| f(agg.hit_ratio)));
         row(&cells);
     }
     println!("\nPaper check: 0.9 hit ratio at |Ql| ≈ 1.15·sqrt(n) (Lemma 5.1), and");

@@ -2,8 +2,8 @@
 //! and routing price for a handful of routed probes whose relays answer
 //! from their own stores (the §4.5 cross-layer tap). Static and mobile.
 
-use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
-use pqs_core::runner::{run_seeds, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_core::Fanout;
 use pqs_net::MobilityModel;
@@ -13,6 +13,27 @@ fn main() {
     let the_seeds = seeds(2);
     let sizes = [200usize, largest_n()];
 
+    // One scenario per (mobility, n, probes) cell, all on the pool.
+    let cfgs: Vec<ScenarioConfig> = [false, true]
+        .iter()
+        .flat_map(|&mobile| {
+            sizes.iter().flat_map(move |&n| {
+                probes.into_iter().map(move |x| {
+                    let mut cfg = ScenarioConfig::paper(n);
+                    if mobile {
+                        cfg.net.mobility = MobilityModel::walking();
+                    }
+                    cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::RandomOpt, x);
+                    cfg.service.lookup_fanout = Fanout::Parallel;
+                    cfg.workload = bench_workload(30, 120, n);
+                    cfg
+                })
+            })
+        })
+        .collect();
+    let aggs = sweep::aggregates(&cfgs, &the_seeds);
+
+    let mut agg_rows = aggs.chunks(probes.len());
     for mobile in [false, true] {
         let label = if mobile { "mobile 0.5-2 m/s" } else { "static" };
         header(
@@ -20,16 +41,9 @@ fn main() {
             &["n \\ probes", "1", "2", "4", "6", "8"],
         );
         for &n in &sizes {
+            let chunk = agg_rows.next().expect("one chunk per (mobility, n)");
             let mut cells = vec![n.to_string()];
-            for &x in &probes {
-                let mut cfg = ScenarioConfig::paper(n);
-                if mobile {
-                    cfg.net.mobility = MobilityModel::walking();
-                }
-                cfg.service.spec.lookup = QuorumSpec::new(AccessStrategy::RandomOpt, x);
-                cfg.service.lookup_fanout = Fanout::Parallel;
-                cfg.workload = bench_workload(30, 120, n);
-                let agg = pqs_core::runner::aggregate(&run_seeds(&cfg, &the_seeds));
+            for agg in chunk {
                 cells.push(format!(
                     "{}|{}|{}",
                     f(agg.hit_ratio),

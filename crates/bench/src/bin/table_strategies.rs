@@ -2,9 +2,9 @@
 //! strategies, with the asymptotic cost column evaluated for concrete
 //! network sizes and the PCT constant measured on real RGGs.
 
-use pqs_bench::{bench_workload, f, header, report, row, seeds};
+use pqs_bench::{bench_workload, f, header, report, row, seeds, sweep};
 use pqs_core::analysis::asymptotic_access_cost;
-use pqs_core::runner::{aggregate, run_seeds, ScenarioConfig};
+use pqs_core::runner::{aggregate, ScenarioConfig};
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_graph::rgg::RggConfig;
 use pqs_graph::walks::{partial_cover_steps, WalkKind};
@@ -58,36 +58,63 @@ fn main() {
 
     // Measured PCT constants on RGGs back the PATH rows: steps per
     // distinct node at |Q| = sqrt(n) (Theorem 4.1 predicts a constant;
-    // the paper measured ~1.7 for simple walks at d_avg = 10).
+    // the paper measured ~1.7 for simple walks at d_avg = 10). One pool
+    // job per (n, seed) graph; the per-start ratios are folded on the
+    // main thread in the original nesting order, so the means are
+    // bit-identical to the sequential run.
+    let walk_sizes = [100usize, 200, 400, 800];
+    let walk_seeds = seeds(5);
+    let walk_jobs: Vec<_> = walk_sizes
+        .iter()
+        .flat_map(|&n| {
+            walk_seeds.iter().map(move |&seed| {
+                move || {
+                    let target = (n as f64).sqrt().round() as usize;
+                    let mut r = rng::stream(seed, 77);
+                    let net = RggConfig::with_avg_degree(n, 10.0).generate(&mut r);
+                    let comp = net.graph().components().remove(0);
+                    let mut ratios: Vec<(f64, f64)> = Vec::new();
+                    for (i, &start) in comp.iter().step_by(comp.len() / 8).enumerate() {
+                        let mut wr = rng::stream(seed * 1000 + i as u64, 78);
+                        if let (Some(s), Some(u)) = (
+                            partial_cover_steps(
+                                net.graph(),
+                                start,
+                                target,
+                                WalkKind::Simple,
+                                &mut wr,
+                            ),
+                            partial_cover_steps(
+                                net.graph(),
+                                start,
+                                target,
+                                WalkKind::SelfAvoiding,
+                                &mut wr,
+                            ),
+                        ) {
+                            ratios.push((s as f64 / target as f64, u as f64 / target as f64));
+                        }
+                    }
+                    ratios
+                }
+            })
+        })
+        .collect();
+    let walk_results = sweep::run_jobs(walk_jobs);
+
     header(
         "measured steps-per-unique-node at |Q| = sqrt(n), d_avg = 10",
         &["n", "PATH (simple)", "UNIQUE-PATH", "paper PATH"],
     );
-    for n in [100usize, 200, 400, 800] {
-        let target = (n as f64).sqrt().round() as usize;
+    for (chunk, n) in walk_results.chunks(walk_seeds.len()).zip(&walk_sizes) {
         let mut simple = 0.0;
         let mut unique = 0.0;
         let mut runs = 0.0;
-        for seed in seeds(5) {
-            let mut r = rng::stream(seed, 77);
-            let net = RggConfig::with_avg_degree(n, 10.0).generate(&mut r);
-            let comp = net.graph().components().remove(0);
-            for (i, &start) in comp.iter().step_by(comp.len() / 8).enumerate() {
-                let mut wr = rng::stream(seed * 1000 + i as u64, 78);
-                if let (Some(s), Some(u)) = (
-                    partial_cover_steps(net.graph(), start, target, WalkKind::Simple, &mut wr),
-                    partial_cover_steps(
-                        net.graph(),
-                        start,
-                        target,
-                        WalkKind::SelfAvoiding,
-                        &mut wr,
-                    ),
-                ) {
-                    simple += s as f64 / target as f64;
-                    unique += u as f64 / target as f64;
-                    runs += 1.0;
-                }
+        for per_seed in chunk {
+            for &(s, u) in per_seed {
+                simple += s;
+                unique += u;
+                runs += 1.0;
             }
         }
         row(&[
@@ -103,26 +130,33 @@ fn main() {
     // strategies (RANDOM advertise at the paper's 2√n throughout).
     let n = 100usize;
     let the_seeds = seeds(2);
+    let strategies = [
+        ("RANDOM", QuorumSpec::new(Random, 12)),
+        ("PATH", QuorumSpec::new(Path, 12)),
+        ("FLOODING", QuorumSpec::new(Flooding, 3)),
+    ];
+    let cfgs: Vec<ScenarioConfig> = strategies
+        .iter()
+        .map(|&(_, lookup_spec)| {
+            let mut cfg = ScenarioConfig::paper(n);
+            cfg.service.spec.lookup = lookup_spec;
+            cfg.workload = bench_workload(30, 120, n);
+            cfg
+        })
+        .collect();
+    let all_runs = sweep::runs(&cfgs, &the_seeds);
+
     header(
         &format!("measured: lookup strategies end to end, n = {n} (latency in s)"),
         &[
             "strategy", "hit", "lkp p50", "lkp p90", "lkp p99", "adv p50", "adv p90", "adv p99",
         ],
     );
-    let strategies = [
-        ("RANDOM", QuorumSpec::new(Random, 12)),
-        ("PATH", QuorumSpec::new(Path, 12)),
-        ("FLOODING", QuorumSpec::new(Flooding, 3)),
-    ];
     let mut layer_rows = Vec::new();
-    for (name, lookup_spec) in strategies {
-        let mut cfg = ScenarioConfig::paper(n);
-        cfg.service.spec.lookup = lookup_spec;
-        cfg.workload = bench_workload(30, 120, n);
-        let runs = run_seeds(&cfg, &the_seeds);
-        let agg = aggregate(&runs);
+    for ((name, _), runs) in strategies.iter().zip(&all_runs) {
+        let agg = aggregate(runs);
         row(&[
-            name.into(),
+            (*name).into(),
             f(agg.hit_ratio),
             f(agg.lookup_p50_s),
             f(agg.lookup_p90_s),

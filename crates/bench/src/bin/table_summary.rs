@@ -2,8 +2,8 @@
 //! for the main strategy combinations, static and mobile, at the paper's
 //! quorum sizes (|Qa| = 2√n, |Qℓ| = 1.15√n, intersection ≈ 0.9).
 
-use pqs_bench::{bench_workload, f, header, largest_n, row, seeds};
-use pqs_core::runner::{run_seeds, Aggregate, ScenarioConfig};
+use pqs_bench::{bench_workload, f, header, largest_n, row, seeds, sweep};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, BiquorumSpec, QuorumSpec};
 use pqs_core::Fanout;
 use pqs_net::MobilityModel;
@@ -14,7 +14,7 @@ struct Combo {
     lookup: QuorumSpec,
 }
 
-fn run(combo: &Combo, n: usize, mobile: bool, present: f64, the_seeds: &[u64]) -> Aggregate {
+fn scenario(combo: &Combo, n: usize, mobile: bool, present: f64) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::paper(n);
     if mobile {
         cfg.net.mobility = MobilityModel::walking();
@@ -23,7 +23,7 @@ fn run(combo: &Combo, n: usize, mobile: bool, present: f64, the_seeds: &[u64]) -
     cfg.service.lookup_fanout = Fanout::Serial;
     cfg.workload = bench_workload(25, 100, n);
     cfg.workload.present_fraction = present;
-    pqs_core::runner::aggregate(&run_seeds(&cfg, the_seeds))
+    cfg
 }
 
 fn main() {
@@ -64,6 +64,21 @@ fn main() {
         },
     ];
 
+    // Two scenarios per (mobility, combo) cell — all-present lookups for
+    // the hit costs, all-absent for the miss costs — in one pool batch.
+    let cfgs: Vec<ScenarioConfig> = [false, true]
+        .iter()
+        .flat_map(|&mobile| {
+            combos.iter().flat_map(move |combo| {
+                [1.0, 0.0]
+                    .iter()
+                    .map(move |&present| scenario(combo, n, mobile, present))
+            })
+        })
+        .collect();
+    let aggs = sweep::aggregates(&cfgs, &the_seeds);
+
+    let mut pairs = aggs.chunks(2);
     for mobile in [false, true] {
         let label = if mobile { "mobile 0.5-2 m/s" } else { "static" };
         header(
@@ -78,8 +93,8 @@ fn main() {
             ],
         );
         for combo in &combos {
-            let hits = run(combo, n, mobile, 1.0, &the_seeds);
-            let misses = run(combo, n, mobile, 0.0, &the_seeds);
+            let pair = pairs.next().expect("hit/miss pair per combo");
+            let (hits, misses) = (&pair[0], &pair[1]);
             row(&[
                 combo.name.into(),
                 f(hits.msgs_per_advertise),

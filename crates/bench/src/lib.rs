@@ -4,35 +4,113 @@
 //! figure of the paper. Common knobs come from the environment:
 //!
 //! - `PQS_SEEDS=k` — runs per data point (default varies per figure; the
-//!   paper averaged 10 runs, which is expensive on one core),
+//!   paper averaged 10 runs),
+//! - `PQS_BASE_SEED=s` — shift the seed window,
 //! - `PQS_FULL=1` — include the `n = 800` configurations,
-//! - `PQS_BASE_SEED=s` — shift the seed window.
+//! - `PQS_SIZES=50,100` — override the swept network sizes outright
+//!   (smoke tests, CI),
+//! - `PQS_JOBS=j` — width of the worker pool the sweeps run on
+//!   (default: available parallelism; results are identical at every
+//!   width, see [`sweep`]).
+//!
+//! Knobs that select *which experiments run* (`PQS_SEEDS`,
+//! `PQS_BASE_SEED`, `PQS_FULL`, `PQS_SIZES`) abort with a clear error
+//! when set to an unparseable value — silently falling back to defaults
+//! would run a long sweep the user did not ask for. `PQS_JOBS` only
+//! bounds resource use and never changes results, so a malformed value
+//! is warned about and ignored (see [`pqs_sim::pool::configured_width`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Parses a seed window: `count` seeds starting at `base`, both given as
+/// the raw environment strings (`None` = unset). Fails on unparseable
+/// values and on windows that would overflow `u64`.
+pub fn parse_seed_window(
+    seeds_raw: Option<&str>,
+    base_raw: Option<&str>,
+    default_count: usize,
+) -> Result<Vec<u64>, String> {
+    let count: u64 = match seeds_raw {
+        None => default_count as u64,
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|e| format!("PQS_SEEDS={raw}: not a valid run count ({e})"))?,
+    };
+    let base: u64 = match base_raw {
+        None => 1,
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|e| format!("PQS_BASE_SEED={raw}: not a valid seed ({e})"))?,
+    };
+    let end = base.checked_add(count).ok_or_else(|| {
+        format!("PQS_BASE_SEED={base} + PQS_SEEDS={count}: seed window overflows u64")
+    })?;
+    Ok((base..end).collect())
+}
+
+/// Parses a `PQS_FULL`-style boolean: `1/true/yes/on` and
+/// `0/false/no/off` (case-insensitive; empty = unset = `false`).
+pub fn parse_bool_knob(name: &str, raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Ok(true),
+        "" | "0" | "false" | "no" | "off" => Ok(false),
+        other => Err(format!(
+            "{name}={other}: not a boolean (use 1/true or 0/false)"
+        )),
+    }
+}
+
+/// Parses a `PQS_SIZES` override: a non-empty comma-separated list of
+/// positive node counts.
+pub fn parse_sizes(raw: &str) -> Result<Vec<usize>, String> {
+    let sizes: Vec<usize> = raw
+        .split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(0) => Err(format!("PQS_SIZES={raw}: network size 0 is not valid")),
+            Ok(n) => Ok(n),
+            Err(e) => Err(format!("PQS_SIZES={raw}: `{s}` is not a node count ({e})")),
+        })
+        .collect::<Result<_, _>>()?;
+    if sizes.is_empty() {
+        return Err(format!("PQS_SIZES={raw}: empty size list"));
+    }
+    Ok(sizes)
+}
+
+fn fail_knob(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 /// Returns the seed list for experiments: `PQS_SEEDS` seeds starting at
-/// `PQS_BASE_SEED` (default: `default_count` seeds from 1).
+/// `PQS_BASE_SEED` (default: `default_count` seeds from 1). Aborts on
+/// malformed values instead of silently running the default sweep.
 pub fn seeds(default_count: usize) -> Vec<u64> {
-    let count = std::env::var("PQS_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default_count);
-    let base: u64 = std::env::var("PQS_BASE_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    (base..base + count as u64).collect()
+    let seeds_raw = std::env::var("PQS_SEEDS").ok();
+    let base_raw = std::env::var("PQS_BASE_SEED").ok();
+    parse_seed_window(seeds_raw.as_deref(), base_raw.as_deref(), default_count)
+        .unwrap_or_else(|msg| fail_knob(&msg))
 }
 
-/// Returns `true` when `PQS_FULL=1` (include the largest networks).
+/// Returns `true` when `PQS_FULL` is set truthy (include the largest
+/// networks). Accepts `1/true/yes/on`; aborts on anything unparseable.
 pub fn full() -> bool {
-    std::env::var("PQS_FULL").is_ok_and(|v| v == "1")
+    match std::env::var("PQS_FULL") {
+        Err(_) => false,
+        Ok(raw) => parse_bool_knob("PQS_FULL", &raw).unwrap_or_else(|msg| fail_knob(&msg)),
+    }
 }
 
-/// The network sizes swept by the paper, trimmed to keep single-core
-/// runtimes sane unless `PQS_FULL=1`.
+/// The network sizes swept by the paper, trimmed to keep default
+/// runtimes sane unless `PQS_FULL=1`; `PQS_SIZES=50,100` overrides the
+/// list outright (smoke tests, CI).
 pub fn network_sizes() -> Vec<usize> {
+    if let Ok(raw) = std::env::var("PQS_SIZES") {
+        return parse_sizes(&raw).unwrap_or_else(|msg| fail_knob(&msg));
+    }
     if full() {
         vec![50, 100, 200, 400, 800]
     } else {
@@ -42,11 +120,7 @@ pub fn network_sizes() -> Vec<usize> {
 
 /// The largest network included under the current settings.
 pub fn largest_n() -> usize {
-    if full() {
-        800
-    } else {
-        400
-    }
+    network_sizes().into_iter().max().expect("non-empty sizes")
 }
 
 /// Prints a title and a column header line, and opens a new section in
@@ -65,6 +139,81 @@ pub fn row(cells: &[String]) {
     println!("{}", line.join(" "));
 }
 
+pub mod sweep {
+    //! The bounded, deterministic parallel sweep engine.
+    //!
+    //! Every bench binary used to walk its `network_sizes() × seeds()`
+    //! grid with hand-rolled loops, paying one full simulation of
+    //! latency per cell. This module instead submits each
+    //! `(scenario × seed)` cell as one job to the shared bounded pool
+    //! ([`pqs_sim::pool`], `PQS_JOBS` wide) and collects per-seed
+    //! [`RunMetrics`] **in submission order** — so every table cell, and
+    //! therefore every exported `bench_results/*.json`, is byte-identical
+    //! to the sequential (`PQS_JOBS=1`) run.
+    //!
+    //! Each sweep also records wall-clock, job count and pool width into
+    //! the [`report`](super::report) collector; those land in a
+    //! `<name>.perf.json` sidecar (kept out of the deterministic main
+    //! export, because wall-clock and pool width legitimately differ
+    //! between runs) which `bench_summary` folds into
+    //! `BENCH_SUMMARY.json`.
+
+    use pqs_core::runner::{aggregate, run_scenario, Aggregate, RunMetrics, ScenarioConfig};
+    use std::time::Instant;
+
+    /// The pool width sweeps run at (`PQS_JOBS`, default: available
+    /// parallelism).
+    pub fn width() -> usize {
+        pqs_sim::pool::configured_width()
+    }
+
+    /// Runs arbitrary jobs on the bounded pool, returns their results in
+    /// submission order, and records the sweep in the report collector.
+    /// Use for non-scenario fan-out (graph-walk profiles etc.); scenario
+    /// grids should go through [`runs`] or [`aggregates`].
+    pub fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let width = width();
+        let count = jobs.len();
+        let start = Instant::now();
+        let out = pqs_sim::pool::run_ordered(width, jobs);
+        super::report::on_sweep(count, width, start.elapsed());
+        out
+    }
+
+    /// Runs every `(scenario × seed)` cell on the bounded pool and
+    /// returns the per-seed metrics grouped per scenario, in input
+    /// order.
+    pub fn runs(cfgs: &[ScenarioConfig], seeds: &[u64]) -> Vec<Vec<RunMetrics>> {
+        let jobs: Vec<_> = cfgs
+            .iter()
+            .flat_map(|cfg| {
+                seeds
+                    .iter()
+                    .map(move |&seed| move || run_scenario(cfg, seed))
+            })
+            .collect();
+        let flat = run_jobs(jobs);
+        let mut it = flat.into_iter();
+        cfgs.iter()
+            .map(|_| {
+                seeds
+                    .iter()
+                    .map(|_| it.next().expect("one result per (scenario, seed)"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// [`runs`] reduced to one [`Aggregate`] per scenario.
+    pub fn aggregates(cfgs: &[ScenarioConfig], seeds: &[u64]) -> Vec<Aggregate> {
+        runs(cfgs, seeds).iter().map(|r| aggregate(r)).collect()
+    }
+}
+
 pub mod report {
     //! Machine-readable bench reports.
     //!
@@ -75,10 +224,16 @@ pub mod report {
     //! output. Structured metrics (aggregates, histograms) can be
     //! attached with [`add_value`]. All content is insertion-ordered, so
     //! a deterministic bench renders a byte-identical export.
+    //!
+    //! Sweeps run through [`sweep`](super::sweep) additionally record
+    //! wall-clock, job count and pool width; [`finish`] writes those to
+    //! a separate `<name>.perf.json` sidecar so the main export stays
+    //! byte-identical across pool widths and hosts.
 
     use pqs_sim::json::JsonValue;
     use std::path::PathBuf;
     use std::sync::Mutex;
+    use std::time::Duration;
 
     struct Section {
         title: String,
@@ -86,14 +241,29 @@ pub mod report {
         rows: Vec<Vec<String>>,
     }
 
+    #[derive(Default)]
+    struct SweepPerf {
+        sweeps: usize,
+        jobs: usize,
+        pool_width: usize,
+        wall: Duration,
+    }
+
     struct State {
         sections: Vec<Section>,
         values: Vec<(String, JsonValue)>,
+        perf: SweepPerf,
     }
 
     static STATE: Mutex<State> = Mutex::new(State {
         sections: Vec::new(),
         values: Vec::new(),
+        perf: SweepPerf {
+            sweeps: 0,
+            jobs: 0,
+            pool_width: 0,
+            wall: Duration::ZERO,
+        },
     });
 
     pub(crate) fn on_header(title: &str, columns: &[&str]) {
@@ -116,6 +286,14 @@ pub mod report {
         }
         let section = state.sections.last_mut().expect("section exists");
         section.rows.push(cells.to_vec());
+    }
+
+    pub(crate) fn on_sweep(jobs: usize, pool_width: usize, wall: Duration) {
+        let mut state = STATE.lock().expect("report lock");
+        state.perf.sweeps += 1;
+        state.perf.jobs += jobs;
+        state.perf.pool_width = pool_width;
+        state.perf.wall += wall;
     }
 
     /// Attaches a structured value (aggregate, histogram, …) to the
@@ -160,6 +338,27 @@ pub mod report {
         out
     }
 
+    /// The sweep-performance sidecar captured so far (`None` if no sweep
+    /// ran): pool width, job count and cumulative wall-clock. This is
+    /// the only place wall-clock appears — it never enters the
+    /// deterministic main export.
+    pub fn perf_to_json(name: &str) -> Option<JsonValue> {
+        let state = STATE.lock().expect("report lock");
+        if state.perf.sweeps == 0 {
+            return None;
+        }
+        Some(JsonValue::object([
+            ("name", JsonValue::from(name)),
+            ("pool_width", JsonValue::from(state.perf.pool_width)),
+            ("sweeps", JsonValue::from(state.perf.sweeps)),
+            ("jobs", JsonValue::from(state.perf.jobs)),
+            (
+                "wall_ms",
+                JsonValue::from(state.perf.wall.as_millis() as u64),
+            ),
+        ]))
+    }
+
     /// Directory the JSON exports are written to (`PQS_BENCH_DIR`,
     /// default `bench_results/` relative to the working directory).
     pub fn out_dir() -> PathBuf {
@@ -168,13 +367,17 @@ pub mod report {
             .unwrap_or_else(|_| PathBuf::from("bench_results"))
     }
 
-    /// Writes the captured report to `bench_results/<name>.json` and
-    /// returns the path. Call as the binary's last statement.
+    /// Writes the captured report to `bench_results/<name>.json` (and,
+    /// when sweeps ran, the wall-clock sidecar to `<name>.perf.json`)
+    /// and returns the main path. Call as the binary's last statement.
     pub fn finish(name: &str) -> std::io::Result<PathBuf> {
         let dir = out_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.json"));
         std::fs::write(&path, to_json(name).render())?;
+        if let Some(perf) = perf_to_json(name) {
+            std::fs::write(dir.join(format!("{name}.perf.json")), perf.render())?;
+        }
         Ok(path)
     }
 }
@@ -203,6 +406,53 @@ mod tests {
         if std::env::var("PQS_SEEDS").is_err() {
             assert_eq!(seeds(3), vec![1, 2, 3]);
         }
+    }
+
+    #[test]
+    fn seed_window_parsing() {
+        assert_eq!(parse_seed_window(None, None, 3), Ok(vec![1, 2, 3]));
+        assert_eq!(
+            parse_seed_window(Some("2"), Some("10"), 5),
+            Ok(vec![10, 11])
+        );
+        assert_eq!(parse_seed_window(Some("0"), None, 3), Ok(vec![]));
+        // Unparseable values are rejected, not silently defaulted.
+        assert!(parse_seed_window(Some("ten"), None, 3).is_err());
+        assert!(parse_seed_window(Some("-1"), None, 3).is_err());
+        assert!(parse_seed_window(None, Some("1e3"), 3).is_err());
+    }
+
+    #[test]
+    fn seed_window_overflow_is_rejected() {
+        let max = u64::MAX.to_string();
+        assert!(parse_seed_window(Some("2"), Some(&max), 3).is_err());
+        // A window ending exactly at u64::MAX is fine.
+        let near = (u64::MAX - 3).to_string();
+        assert_eq!(
+            parse_seed_window(Some("3"), Some(&near), 1),
+            Ok(vec![u64::MAX - 3, u64::MAX - 2, u64::MAX - 1])
+        );
+    }
+
+    #[test]
+    fn bool_knob_parsing() {
+        for raw in ["1", "true", "TRUE", "yes", "On"] {
+            assert_eq!(parse_bool_knob("PQS_FULL", raw), Ok(true), "{raw}");
+        }
+        for raw in ["0", "false", "no", "OFF", ""] {
+            assert_eq!(parse_bool_knob("PQS_FULL", raw), Ok(false), "{raw}");
+        }
+        assert!(parse_bool_knob("PQS_FULL", "maybe").is_err());
+        assert!(parse_bool_knob("PQS_FULL", "2").is_err());
+    }
+
+    #[test]
+    fn sizes_parsing() {
+        assert_eq!(parse_sizes("50"), Ok(vec![50]));
+        assert_eq!(parse_sizes("50, 100,200"), Ok(vec![50, 100, 200]));
+        assert!(parse_sizes("").is_err());
+        assert!(parse_sizes("50,x").is_err());
+        assert!(parse_sizes("0").is_err());
     }
 
     #[test]

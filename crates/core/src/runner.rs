@@ -341,19 +341,26 @@ fn apply_churn(
     }
 }
 
-/// Runs a scenario over several seeds in parallel (one thread per seed).
+/// Runs a scenario over several seeds on the bounded worker pool
+/// (`PQS_JOBS` wide, default: available parallelism) and returns the
+/// per-seed metrics in `seeds` order.
+///
+/// Concurrency is capped: no matter how many seeds are requested, at
+/// most the pool width simulations are resident at once, and the result
+/// vector is identical at every pool width (each run is fully
+/// determined by `(cfg, seed)`).
 pub fn run_seeds(cfg: &ScenarioConfig, seeds: &[u64]) -> Vec<RunMetrics> {
-    let mut out: Vec<Option<RunMetrics>> = vec![None; seeds.len()];
-    std::thread::scope(|scope| {
-        for (slot, &seed) in out.iter_mut().zip(seeds) {
-            scope.spawn(move || {
-                *slot = Some(run_scenario(cfg, seed));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|m| m.expect("all slots filled"))
-        .collect()
+    run_seeds_bounded(cfg, seeds, pqs_sim::pool::configured_width())
+}
+
+/// [`run_seeds`] with an explicit concurrency bound instead of the
+/// `PQS_JOBS` environment knob.
+pub fn run_seeds_bounded(cfg: &ScenarioConfig, seeds: &[u64], width: usize) -> Vec<RunMetrics> {
+    let jobs: Vec<_> = seeds
+        .iter()
+        .map(|&seed| move || run_scenario(cfg, seed))
+        .collect();
+    pqs_sim::pool::run_ordered(width, jobs)
 }
 
 /// Mean metrics over several runs.

@@ -1,0 +1,57 @@
+//! Regression tests for the bounded seed fan-out: `run_seeds` used to
+//! spawn one OS thread per seed, so `PQS_SEEDS=50` on a large scenario
+//! held 50 full simulations in memory at once. It now runs on the
+//! bounded pool — many seeds, never more than the pool width in flight —
+//! and the per-seed results are identical at every width.
+
+use pqs_core::runner::{run_seeds_bounded, ScenarioConfig};
+use pqs_core::workload::WorkloadConfig;
+use pqs_sim::json::ToJson;
+use pqs_sim::pool;
+use std::sync::Mutex;
+
+/// The pool's in-flight gauge is process-global; serialize the tests in
+/// this binary so one test's jobs cannot inflate another's high-water
+/// reading.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(30);
+    cfg.workload = WorkloadConfig::small(2, 4);
+    cfg
+}
+
+#[test]
+fn sixty_four_seeds_never_exceed_the_pool_width() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let cfg = tiny_scenario();
+    let seeds: Vec<u64> = (1..=64).collect();
+    let width = 4;
+    pool::reset_high_water();
+    let runs = run_seeds_bounded(&cfg, &seeds, width);
+    assert_eq!(runs.len(), seeds.len());
+    assert!(runs.iter().zip(&seeds).all(|(r, &s)| r.seed == s));
+    let peak = pool::high_water();
+    assert!(peak >= 1, "the pool ran no jobs?");
+    assert!(
+        peak <= width,
+        "{peak} simulations in flight under a width-{width} pool"
+    );
+}
+
+#[test]
+fn results_are_identical_at_every_pool_width() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let cfg = tiny_scenario();
+    let seeds: Vec<u64> = (1..=6).collect();
+    let sequential = run_seeds_bounded(&cfg, &seeds, 1);
+    let parallel = run_seeds_bounded(&cfg, &seeds, 4);
+    for (a, b) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            a.to_json().render(),
+            b.to_json().render(),
+            "seed {} diverged between pool widths",
+            a.seed
+        );
+    }
+}

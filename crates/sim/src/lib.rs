@@ -14,6 +14,8 @@
 //!   stream,
 //! - [`metrics`]: deterministic counters, gauges and fixed-bucket
 //!   latency histograms,
+//! - [`pool`]: a bounded work-queue executor with submission-ordered
+//!   result collection (the `PQS_JOBS` fan-out cap),
 //! - [`trace`]: a bounded, typed sim-time trace ring,
 //! - [`json`]: a minimal deterministic JSON tree for byte-stable metric
 //!   exports (the vendored `serde` is a no-op stub).
@@ -55,6 +57,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod pool;
 mod queue;
 pub mod rng;
 mod scheduler;

@@ -26,6 +26,17 @@ cargo test -q
 echo "==> observability: metrics export determinism"
 cargo test -q -p pqs-core --test metrics_determinism
 
+echo "==> sweep engine: PQS_JOBS=2 smoke sweep, diff vs sequential"
+seq_dir="$(mktemp -d)"
+par_dir="$(mktemp -d)"
+trap 'rm -rf "$seq_dir" "$par_dir"' EXIT
+PQS_BENCH_DIR="$seq_dir" PQS_JOBS=1 PQS_SEEDS=1 PQS_SIZES=50 \
+    cargo run --release -q -p pqs-bench --bin fig8_random >/dev/null
+PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
+    cargo run --release -q -p pqs-bench --bin fig8_random >/dev/null
+diff "$seq_dir/fig8_random.json" "$par_dir/fig8_random.json" \
+    || { echo "fig8_random.json differs between PQS_JOBS=1 and 2"; exit 1; }
+
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test --workspace -q"
     cargo test --workspace -q
