@@ -9,12 +9,15 @@
 //! - `PQS_FULL=1` — include the `n = 800` configurations,
 //! - `PQS_SIZES=50,100` — override the swept network sizes outright
 //!   (smoke tests, CI),
+//! - `PQS_ADAPTIVE=0` — skip the adaptive-controller arms of
+//!   `fig_adaptive` (default: on),
 //! - `PQS_JOBS=j` — width of the worker pool the sweeps run on
 //!   (default: available parallelism; results are identical at every
 //!   width, see [`sweep`]).
 //!
 //! Knobs that select *which experiments run* (`PQS_SEEDS`,
-//! `PQS_BASE_SEED`, `PQS_FULL`, `PQS_SIZES`) abort with a clear error
+//! `PQS_BASE_SEED`, `PQS_FULL`, `PQS_SIZES`, `PQS_ADAPTIVE`) abort
+//! with a clear error
 //! when set to an unparseable value — silently falling back to defaults
 //! would run a long sweep the user did not ask for. `PQS_JOBS` only
 //! bounds resource use and never changes results, so a malformed value
@@ -101,6 +104,17 @@ pub fn full() -> bool {
     match std::env::var("PQS_FULL") {
         Err(_) => false,
         Ok(raw) => parse_bool_knob("PQS_FULL", &raw).unwrap_or_else(|msg| fail_knob(&msg)),
+    }
+}
+
+/// Returns `true` unless `PQS_ADAPTIVE` is set falsy (skip the adaptive
+/// controller arms of `fig_adaptive`; the static arms and the analytic
+/// planner table still run). Defaults to `true`; aborts on anything
+/// unparseable.
+pub fn adaptive() -> bool {
+    match std::env::var("PQS_ADAPTIVE") {
+        Err(_) => true,
+        Ok(raw) => parse_bool_knob("PQS_ADAPTIVE", &raw).unwrap_or_else(|msg| fail_knob(&msg)),
     }
 }
 

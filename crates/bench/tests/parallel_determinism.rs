@@ -24,6 +24,7 @@ fn run_binary(exe: &str, name: &str, jobs: &str) -> (String, String) {
         .env("PQS_SIZES", "50")
         .env_remove("PQS_FULL")
         .env_remove("PQS_BASE_SEED")
+        .env_remove("PQS_ADAPTIVE")
         .stdout(std::process::Stdio::null())
         .status()
         .expect("spawn bench binary");
@@ -65,4 +66,12 @@ fn fig8_random_export_is_pool_width_invariant() {
 #[test]
 fn table_strategies_export_is_pool_width_invariant() {
     assert_parallel_export_identical(env!("CARGO_BIN_EXE_table_strategies"), "table_strategies");
+}
+
+/// The adaptive-controller figure mixes two arm kinds (plain
+/// `run_scenario` sweeps and hooked controller runs) in one report —
+/// its export must still be pool-width invariant.
+#[test]
+fn fig_adaptive_export_is_pool_width_invariant() {
+    assert_parallel_export_identical(env!("CARGO_BIN_EXE_fig_adaptive"), "fig_adaptive");
 }

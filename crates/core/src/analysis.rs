@@ -176,7 +176,7 @@ pub struct CombinationCost {
 pub fn combination_table(n: usize, epsilon: f64) -> Vec<CombinationCost> {
     use AccessStrategy::*;
     let qa = crate::spec::paper_advertise_size(n);
-    let ql = (crate::spec::min_quorum_product(n, epsilon) / f64::from(qa)).ceil() as u32;
+    let ql = crate::spec::min_partner_quorum_size(n, epsilon, f64::from(qa));
     let mut rows = Vec::new();
     for lookup in [Random, RandomOpt, UniquePath, Flooding] {
         rows.push(CombinationCost {

@@ -67,11 +67,14 @@ pub mod workload;
 
 pub use membership::Membership;
 pub use messages::{AppMsg, OpId};
-pub use obs::{LoadSummary, TraceEvent};
-pub use runner::{run_scenario, run_seeds, Aggregate, RunMetrics, ScenarioConfig};
+pub use obs::{HoldReason, LoadSummary, TraceEvent};
+pub use runner::{
+    run_scenario, run_scenario_hooked, run_seeds, Aggregate, ControllerHook, RunMetrics,
+    ScenarioConfig,
+};
 pub use service::{
     Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, RetryPolicy, ServiceConfig,
 };
 pub use spec::{AccessStrategy, BiquorumSpec, QuorumSpec};
-pub use stack::{QuorumNet, QuorumStack};
+pub use stack::{QuorumNet, QuorumStack, ReconfigureError};
 pub use store::{Key, Role, Store, Value};

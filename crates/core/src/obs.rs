@@ -61,6 +61,45 @@ pub enum TraceEvent {
         /// The new lookup quorum size.
         size: u32,
     },
+    /// The adaptive controller applied a new plan to the live stack.
+    Reconfigured {
+        /// New advertise quorum size.
+        qa: u32,
+        /// New lookup quorum size.
+        ql: u32,
+    },
+    /// The adaptive controller evaluated but kept the current plan.
+    PlanHeld {
+        /// Why the plan was held.
+        reason: HoldReason,
+    },
+}
+
+/// Why an adaptive-controller tick kept the current plan instead of
+/// reconfiguring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HoldReason {
+    /// No population estimate was available (zero collisions in the §6.3
+    /// sample, or the estimator disabled) — acting on a fabricated n̂
+    /// would be worse than holding.
+    NoEstimate,
+    /// The planned sizes were within the hysteresis dead-band of the
+    /// current ones.
+    DeadBand,
+    /// The minimum-dwell timer since the last reconfiguration had not
+    /// expired.
+    MinDwell,
+}
+
+impl HoldReason {
+    /// Stable lowercase label used in JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HoldReason::NoEstimate => "no_estimate",
+            HoldReason::DeadBand => "dead_band",
+            HoldReason::MinDwell => "min_dwell",
+        }
+    }
 }
 
 fn kind_str(kind: OpKind) -> &'static str {
@@ -98,6 +137,15 @@ impl ToJson for TraceEvent {
             TraceEvent::QuorumAdapted { size } => JsonValue::object([
                 ("event", JsonValue::from("quorum_adapted")),
                 ("size", JsonValue::from(size)),
+            ]),
+            TraceEvent::Reconfigured { qa, ql } => JsonValue::object([
+                ("event", JsonValue::from("reconfigured")),
+                ("qa", JsonValue::from(qa)),
+                ("ql", JsonValue::from(ql)),
+            ]),
+            TraceEvent::PlanHeld { reason } => JsonValue::object([
+                ("event", JsonValue::from("plan_held")),
+                ("reason", JsonValue::from(reason.as_str())),
             ]),
         }
     }
@@ -189,6 +237,26 @@ impl ToJson for QuorumCounters {
             (
                 "quorum_adaptations",
                 JsonValue::from(self.quorum_adaptations),
+            ),
+            ("advertises_issued", JsonValue::from(self.advertises_issued)),
+            ("lookups_issued", JsonValue::from(self.lookups_issued)),
+            (
+                "estimator_unavailable",
+                JsonValue::from(self.estimator_unavailable),
+            ),
+            ("controller_ticks", JsonValue::from(self.controller_ticks)),
+            ("reconfigures", JsonValue::from(self.reconfigures)),
+            (
+                "controller_holds_no_estimate",
+                JsonValue::from(self.controller_holds_no_estimate),
+            ),
+            (
+                "controller_holds_dead_band",
+                JsonValue::from(self.controller_holds_dead_band),
+            ),
+            (
+                "controller_holds_dwell",
+                JsonValue::from(self.controller_holds_dwell),
             ),
         ])
     }

@@ -7,6 +7,7 @@ use crate::service::{OpKind, QuorumCounters, ServiceConfig};
 use crate::stack::{QuorumNet, QuorumStack};
 use crate::workload::{Workload, WorkloadConfig};
 use pqs_net::{FaultPlan, NetConfig, NetStats, Network};
+use pqs_sim::control::TickSchedule;
 use pqs_sim::metrics::Histogram;
 use pqs_sim::rng::{self, streams};
 use pqs_sim::{SimDuration, SimTime};
@@ -199,8 +200,47 @@ fn snapshot(net: &QuorumNet, stack: &QuorumStack) -> PhaseStats {
     }
 }
 
+/// A runtime controller attached to a scenario run: a deterministic
+/// sim-time [`TickSchedule`] plus the callback invoked at each due tick
+/// with the live network and stack (the adaptive quorum planner plugs in
+/// here — the runner stays ignorant of *what* the controller does).
+pub type ControllerHook<'a> = (
+    TickSchedule,
+    &'a mut dyn FnMut(&mut QuorumNet, &mut QuorumStack),
+);
+
+/// Advances the simulation to `until`, firing every controller tick that
+/// falls inside the horizon at its exact sim-time instant. The chunking
+/// of `net.run` horizons is invisible to the controller: tick `i` always
+/// observes the network state at `first + i·interval`.
+fn advance(
+    net: &mut QuorumNet,
+    stack: &mut QuorumStack,
+    hook: &mut Option<ControllerHook<'_>>,
+    until: SimTime,
+) {
+    if let Some((schedule, callback)) = hook.as_mut() {
+        while let Some(at) = schedule.next_due(until) {
+            net.run(stack, at.max(net.now()));
+            callback(net, stack);
+        }
+    }
+    net.run(stack, until);
+}
+
 /// Runs one scenario with one seed.
 pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
+    run_scenario_hooked(cfg, seed, None)
+}
+
+/// [`run_scenario`] with an optional runtime controller that fires on a
+/// deterministic sim-time schedule throughout both phases (including the
+/// churn settle window and the final drain).
+pub fn run_scenario_hooked(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    mut hook: Option<ControllerHook<'_>>,
+) -> RunMetrics {
     let mut net_cfg = cfg.net.clone();
     net_cfg.seed = seed;
     net_cfg.promiscuous =
@@ -217,18 +257,18 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
 
     // Phase 1: advertisements.
     for &(at, who, key, value) in &workload.advertisements {
-        net.run(&mut stack, at);
+        advance(&mut net, &mut stack, &mut hook, at);
         stack.advertise(&mut net, who, key, value);
     }
     let advertise_end = cfg.workload.lookup_start();
-    net.run(&mut stack, advertise_end);
+    advance(&mut net, &mut stack, &mut hook, advertise_end);
 
     // Optional churn between the phases.
     if let Some(plan) = cfg.churn {
         apply_churn(&mut net, &mut stack, plan, seed, n0);
         // Let joins integrate (heartbeats) before lookups begin.
         let settle = net.now() + SimDuration::from_secs(15);
-        net.run(&mut stack, settle);
+        advance(&mut net, &mut stack, &mut hook, settle);
     }
     let after_advertise = snapshot(&net, &stack);
 
@@ -237,7 +277,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
     let mut substitute_rng = rng::stream(seed, streams::WORKLOAD ^ 0x10ed);
     for &(at, who, key) in &workload.lookups {
         let at = at.max(net.now());
-        net.run(&mut stack, at);
+        advance(&mut net, &mut stack, &mut hook, at);
         let who = if net.is_alive(who) {
             who
         } else {
@@ -247,7 +287,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
         stack.lookup(&mut net, who, key);
     }
     let horizon = cfg.workload.lookup_end().max(net.now()) + cfg.drain;
-    net.run(&mut stack, horizon);
+    advance(&mut net, &mut stack, &mut hook, horizon);
     let final_stats = snapshot(&net, &stack);
 
     // Outcomes.

@@ -146,6 +146,13 @@ pub struct ServiceConfig {
     /// (`0` = tracing disabled, the default; the hot path then pays a
     /// single branch per would-be event).
     pub trace_capacity: usize,
+    /// Sample-size factor for the §6.3 collision population estimator:
+    /// `k = ⌈factor·√(alive)⌉ + 4` nodes are sampled per estimate. The
+    /// paper-default `2.0` matches the historic fixed formula; values
+    /// `≤ 0.0` disable the estimator deterministically (every estimate
+    /// returns `None` and counts as unavailable — used by tests and by
+    /// deployments that cannot afford sampling traffic).
+    pub estimator_sample_factor: f64,
 }
 
 impl ServiceConfig {
@@ -179,6 +186,7 @@ impl ServiceConfig {
             expanding_ring_timeout: SimDuration::from_millis(500),
             retry: None,
             trace_capacity: 0,
+            estimator_sample_factor: 2.0,
         }
     }
 }
@@ -297,6 +305,26 @@ pub struct QuorumCounters {
     /// Retries that re-sized the lookup quorum from the population
     /// estimate (grow or shrink, §6.1/§6.3).
     pub quorum_adaptations: u64,
+    /// Advertise accesses issued (first attempts and retries) — the
+    /// numerator of the observed workload ratio τ.
+    pub advertises_issued: u64,
+    /// Lookup accesses issued (first attempts and retries) — the
+    /// denominator of the observed workload ratio τ.
+    pub lookups_issued: u64,
+    /// Population estimates that came back empty (zero collisions in the
+    /// §6.3 sample, or the estimator disabled): the caller held its last
+    /// plan instead of acting on a fabricated n̂.
+    pub estimator_unavailable: u64,
+    /// Adaptive-controller evaluations (ticks).
+    pub controller_ticks: u64,
+    /// Controller ticks that applied a re-sized plan to the live stack.
+    pub reconfigures: u64,
+    /// Controller ticks held because no population estimate was available.
+    pub controller_holds_no_estimate: u64,
+    /// Controller ticks held inside the hysteresis dead-band.
+    pub controller_holds_dead_band: u64,
+    /// Controller ticks held by the minimum-dwell timer.
+    pub controller_holds_dwell: u64,
 }
 
 impl QuorumCounters {

@@ -177,7 +177,7 @@ impl BiquorumSpec {
         );
         assert!(advertise_factor > 0.0, "advertise factor must be positive");
         let qa = (advertise_factor * (n as f64).sqrt()).ceil().max(1.0);
-        let ql = (min_quorum_product(n, epsilon) / qa).ceil().max(1.0) as u32;
+        let ql = min_partner_quorum_size(n, epsilon, qa);
         BiquorumSpec {
             advertise: QuorumSpec::new(advertise, qa as u32),
             lookup: QuorumSpec::new(lookup, ql),
@@ -214,6 +214,44 @@ pub fn min_quorum_product(n: usize, epsilon: f64) -> f64 {
 /// The symmetric quorum size `⌈√(n·ln(1/ε))⌉`.
 pub fn symmetric_quorum_size(n: usize, epsilon: f64) -> u32 {
     min_quorum_product(n, epsilon).sqrt().ceil() as u32
+}
+
+/// Corollary 5.3 rounding, checked: the smallest integer `|Qℓ|` such
+/// that `other_side · |Qℓ| ≥ n·ln(1/ε)`, given the (possibly fractional,
+/// e.g. a churn-discounted survivor count) size of the other quorum
+/// side. This is the single rounding helper every sizing path in the
+/// workspace goes through — `BiquorumSpec::asymmetric_for_epsilon`, the
+/// Fig. 6 combination table, the retry layer's churn adaptation, and the
+/// `pqs-plan` planner (which re-exports it).
+///
+/// The result is verified against the bound after rounding; by symmetry
+/// the same helper sizes either side.
+///
+/// # Panics
+///
+/// Panics if `other_side` is not strictly positive, or if `epsilon`/`n`
+/// are out of range (see [`min_quorum_product`]).
+pub fn min_partner_quorum_size(n: usize, epsilon: f64, other_side: f64) -> u32 {
+    assert!(
+        other_side > 0.0 && other_side.is_finite(),
+        "partner quorum side must be positive"
+    );
+    let required = min_quorum_product(n, epsilon);
+    let size = (required / other_side).ceil().max(1.0);
+    // Post-rounding check: the returned size must actually restore the
+    // Corollary 5.3 product (ceil guarantees it; this assert is the
+    // contract, kept active so every caller inherits the verification).
+    assert!(
+        other_side * size >= required - 1e-9,
+        "rounding failed to satisfy |Qa|·|Qℓ| ≥ n·ln(1/ε)"
+    );
+    size as u32
+}
+
+/// Whether `(qa, ql)` satisfies the Corollary 5.3 product
+/// `qa·ql ≥ n·ln(1/ε)` (with a small tolerance for float rounding).
+pub fn satisfies_min_product(qa: u32, ql: u32, n: usize, epsilon: f64) -> bool {
+    f64::from(qa) * f64::from(ql) >= min_quorum_product(n, epsilon) - 1e-9
 }
 
 /// The paper's empirical observation (§8.2/§8.3): a 0.9 hit ratio needs

@@ -10,9 +10,9 @@
 use crate::estimator;
 use crate::membership::Membership;
 use crate::messages::{AppMsg, FloodMsg, FloodReplyMsg, OpId, QuorumAction, ReplyMsg, WalkMsg};
-use crate::obs::TraceEvent;
+use crate::obs::{HoldReason, TraceEvent};
 use crate::service::{Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig};
-use crate::spec::AccessStrategy;
+use crate::spec::{AccessStrategy, BiquorumSpec};
 use crate::store::{Key, Role, Store, Value};
 use pqs_net::{MacDst, Network, NodeId, Stack, Upcall};
 use pqs_routing::{RoutePacket, Router, RouterConfig, RouterEvent, TransitHandle};
@@ -120,6 +120,26 @@ enum RetryFailure {
     Deadline,
 }
 
+/// Why [`QuorumStack::reconfigure`] rejected a new spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigureError {
+    /// The new spec uses RANDOM-OPT but the router was built without the
+    /// §4.5 relay tap, which is fixed at construction.
+    NeedsTransitTap,
+}
+
+impl std::fmt::Display for ReconfigureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigureError::NeedsTransitTap => {
+                f.write_str("RANDOM-OPT needs the relay tap, which is fixed at stack construction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigureError {}
+
 /// The quorum-backed location service over a simulated MANET.
 ///
 /// Use [`QuorumStack::advertise`] and [`QuorumStack::lookup`] to issue
@@ -150,6 +170,10 @@ pub struct QuorumStack {
     /// since their stores were wiped and they no longer hold old
     /// advertisements. Drives the §6.1 advertise-survivor estimate.
     original_failed: HashSet<NodeId>,
+    /// Whether the router was built with the RANDOM-OPT relay tap —
+    /// fixed at construction, so reconfiguration onto RANDOM-OPT is only
+    /// possible when the tap already exists.
+    transit_tap: bool,
     counters: QuorumCounters,
     /// Structured sim-time trace (`None` unless
     /// `ServiceConfig::trace_capacity > 0`): the disabled hot path is a
@@ -192,6 +216,7 @@ impl QuorumStack {
             retry: HashMap::new(),
             initial_n: n,
             original_failed: HashSet::new(),
+            transit_tap: needs_tap,
             counters: QuorumCounters::default(),
             trace: (cfg.trace_capacity > 0)
                 .then(|| pqs_sim::trace::TraceRing::new(cfg.trace_capacity)),
@@ -302,6 +327,7 @@ impl QuorumStack {
         key: Key,
         value: Value,
     ) {
+        self.counters.advertises_issued += 1;
         let spec = self.cfg.spec.advertise;
         match spec.strategy {
             AccessStrategy::Random | AccessStrategy::RandomOpt => {
@@ -382,6 +408,7 @@ impl QuorumStack {
     /// One issue attempt of a lookup access (also the re-issue path of
     /// the retry layer, which picks a fresh access set each time).
     fn issue_lookup(&mut self, net: &mut QuorumNet, node: NodeId, op: OpId, key: Key) {
+        self.counters.lookups_issued += 1;
         // The originator is part of its own quorum (§8.3). A local hit
         // completes the lookup immediately; parallel fan-outs still probe
         // the rest of the quorum so that collect-style consumers (the
@@ -687,33 +714,23 @@ impl QuorumStack {
         if alive.is_empty() {
             return;
         }
-        // §6.3: birthday-collision estimate over ~2√n MD-walk samples of
-        // the current connectivity graph; the true alive count stands in
-        // when the sample yields no collisions.
-        let graph = net.connectivity_graph();
-        let k = (2.0 * (alive.len() as f64).sqrt()).ceil() as usize + 4;
-        let n_est = estimator::estimate_graph_size(
-            &graph,
-            alive[0].index(),
-            k,
-            graph.node_count().max(2),
-            &mut self.rng,
-        )
-        .unwrap_or(alive.len() as f64)
-        .max(1.0);
+        // §6.3 collision estimate; the true alive count stands in when
+        // the sample yields no collisions (the retry path must act *now*
+        // for this one operation, unlike the controller which can hold).
+        let n_est = self
+            .estimate_population(net)
+            .unwrap_or(alive.len() as f64)
+            .max(1.0);
         // Survivors of the original advertise quorums scale with the
         // fraction of the initial population still alive (§6.1 case 1).
-        let surviving = (self.initial_n.saturating_sub(self.original_failed.len())) as f64
-            / self.initial_n.max(1) as f64;
-        let qa_eff = f64::from(self.cfg.spec.advertise.size) * surviving;
+        let qa_eff = f64::from(self.cfg.spec.advertise.size) * self.advertise_survivor_fraction();
         if qa_eff < 1.0 {
             // No advertise survivors left: nothing to intersect with.
             self.mark_degraded(op);
             return;
         }
         let eps = epsilon.clamp(1e-9, 1.0 - 1e-9);
-        let required = crate::spec::min_quorum_product(n_est.round() as usize, eps);
-        let needed = (required / qa_eff).ceil().max(1.0) as u32;
+        let needed = crate::spec::min_partner_quorum_size(n_est.round() as usize, eps, qa_eff);
         let cap = alive.len() as u32;
         if needed > cap {
             self.mark_degraded(op);
@@ -733,6 +750,110 @@ impl QuorumStack {
                 self.counters.degraded_ops += 1;
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Controller feed (pqs-plan's AdaptiveController)
+    // ------------------------------------------------------------------
+
+    /// The §6.3 birthday-collision population estimate `n̂ = k(k−1)/(2c)`
+    /// over `k = ⌈factor·√(alive)⌉ + 4` MD-walk samples of the current
+    /// connectivity graph.
+    ///
+    /// Returns `None` — and counts
+    /// [`QuorumCounters::estimator_unavailable`] — when the sample yields
+    /// zero collisions or the estimator is disabled
+    /// (`ServiceConfig::estimator_sample_factor ≤ 0`). Callers must not
+    /// fabricate an n̂ in that case: the adaptive controller holds its
+    /// last plan, while the per-operation retry path (which cannot wait)
+    /// explicitly falls back to the exact alive count.
+    pub fn estimate_population(&mut self, net: &QuorumNet) -> Option<f64> {
+        let factor = self.cfg.estimator_sample_factor;
+        let alive = net.alive_nodes();
+        if factor <= 0.0 || alive.is_empty() {
+            self.counters.estimator_unavailable += 1;
+            return None;
+        }
+        let graph = net.connectivity_graph();
+        let k = (factor * (alive.len() as f64).sqrt()).ceil() as usize + 4;
+        let est = estimator::estimate_graph_size(
+            &graph,
+            alive[0].index(),
+            k,
+            graph.node_count().max(2),
+            &mut self.rng,
+        );
+        if est.is_none() {
+            self.counters.estimator_unavailable += 1;
+        }
+        est
+    }
+
+    /// Fraction of the initial population that never failed — the §6.1
+    /// discount on how many members of an *old* advertise quorum still
+    /// hold their stores (rejoiners come back empty, so they stay
+    /// counted as failed here).
+    pub fn advertise_survivor_fraction(&self) -> f64 {
+        (self.initial_n.saturating_sub(self.original_failed.len())) as f64
+            / self.initial_n.max(1) as f64
+    }
+
+    /// The observed workload ratio `τ = lookups/advertises` from the
+    /// issue counters, or `None` before the first advertise (τ is then
+    /// undefined and the caller falls back to its configured prior).
+    pub fn observed_tau(&self) -> Option<f64> {
+        (self.counters.advertises_issued > 0)
+            .then(|| self.counters.lookups_issued as f64 / self.counters.advertises_issued as f64)
+    }
+
+    /// Applies a new biquorum spec to the live stack (the adaptive
+    /// controller's `Reconfigure` path). Future accesses use the new
+    /// sizes/strategies; in-flight operations finish under the old ones.
+    ///
+    /// Returns `Ok(true)` when the spec actually changed (counted and
+    /// traced), `Ok(false)` for a no-op, and
+    /// [`ReconfigureError::NeedsTransitTap`] when a side asks for
+    /// RANDOM-OPT but the router was built without the relay tap (the
+    /// tap is fixed at construction — §4.5 changes what *every* routed
+    /// frame does, which cannot be toggled mid-run).
+    pub fn reconfigure(
+        &mut self,
+        at: SimTime,
+        spec: BiquorumSpec,
+    ) -> Result<bool, ReconfigureError> {
+        let wants_tap = spec.advertise.strategy == AccessStrategy::RandomOpt
+            || spec.lookup.strategy == AccessStrategy::RandomOpt;
+        if wants_tap && !self.transit_tap {
+            return Err(ReconfigureError::NeedsTransitTap);
+        }
+        if spec == self.cfg.spec {
+            return Ok(false);
+        }
+        self.cfg.spec = spec;
+        self.counters.reconfigures += 1;
+        self.trace_push(
+            at,
+            TraceEvent::Reconfigured {
+                qa: spec.advertise.size,
+                ql: spec.lookup.size,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Counts one adaptive-controller evaluation.
+    pub fn note_controller_tick(&mut self) {
+        self.counters.controller_ticks += 1;
+    }
+
+    /// Counts and traces a controller tick that kept the current plan.
+    pub fn note_controller_hold(&mut self, at: SimTime, reason: HoldReason) {
+        match reason {
+            HoldReason::NoEstimate => self.counters.controller_holds_no_estimate += 1,
+            HoldReason::DeadBand => self.counters.controller_holds_dead_band += 1,
+            HoldReason::MinDwell => self.counters.controller_holds_dwell += 1,
+        }
+        self.trace_push(at, TraceEvent::PlanHeld { reason });
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,277 @@
+//! The analytic planner: from `(n, ε, τ, costs)` to a checked
+//! [`QuorumPlan`].
+//!
+//! The planner composes three results of the paper:
+//!
+//! - **Lemma 5.6** gives the cost-optimal continuous split
+//!   `|Qℓ|* = √(n·ln(1/ε)·Cost_a/(τ·Cost_ℓ))`,
+//! - **Corollary 5.3** gives the feasibility floor
+//!   `|Qa|·|Qℓ| ≥ n·ln(1/ε)`,
+//! - the **§6.1 degradation closed forms** bound how much churn a sized
+//!   plan tolerates before `Pr(miss)` crosses ε again, which yields the
+//!   refresh budget (and, with an expected churn rate, a refresh period).
+//!
+//! Deviations from the continuous optimum (documented in DESIGN.md §12):
+//! sizes are integers — `|Qℓ|*` is rounded to the nearest integer and
+//! clamped to `[1, n]`, then `|Qa|` is the *checked* Corollary 5.3
+//! partner size (rounded up), also clamped to `n`. When both sides hit
+//! the `n` cap the quorums overlap deterministically (`|Qa|+|Qℓ| > n`)
+//! and the miss probability is 0. Every plan is verified against the
+//! bound before it is returned — [`Planner::plan`] panics rather than
+//! emit an undersized plan.
+
+use pqs_core::analysis::{self, ChurnRegime};
+use pqs_core::spec::{self, AccessStrategy, BiquorumSpec, QuorumSpec};
+use pqs_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Static planning inputs: the target, the cost model, and the expected
+/// churn environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Target miss probability ε (plans guarantee `Pr(miss) ≤ ε`).
+    pub epsilon: f64,
+    /// Prior workload ratio `τ = lookups/advertises`, used until live
+    /// counters provide an observed value.
+    pub tau: f64,
+    /// Per-node advertise access cost (messages; e.g. the mean route
+    /// length for RANDOM stores).
+    pub cost_advertise: f64,
+    /// Per-node lookup access cost (messages; 1 for walk strategies).
+    pub cost_lookup: f64,
+    /// Advertise-side access strategy.
+    pub advertise_strategy: AccessStrategy,
+    /// Lookup-side access strategy.
+    pub lookup_strategy: AccessStrategy,
+    /// The churn regime assumed for refresh budgeting (§6.1).
+    pub churn_regime: ChurnRegime,
+    /// Expected churn rate (fraction of the population per second); `0`
+    /// means no refresh period can be derived.
+    pub churn_per_sec: f64,
+}
+
+impl PlannerConfig {
+    /// The paper's working point: ε = 0.1, τ = 10, RANDOM advertise ×
+    /// UNIQUE-PATH lookup with the §5.4 worked-example costs (`Cost_a =
+    /// D = 5` routed hops per store, `Cost_ℓ = 1` per walk step, so
+    /// `|Qℓ|/|Qa| = 1/2`), mixed fail+join churn.
+    pub fn paper_default() -> Self {
+        PlannerConfig {
+            epsilon: 0.1,
+            tau: 10.0,
+            cost_advertise: 5.0,
+            cost_lookup: 1.0,
+            advertise_strategy: AccessStrategy::Random,
+            lookup_strategy: AccessStrategy::UniquePath,
+            churn_regime: ChurnRegime::FailuresAndJoins,
+            churn_per_sec: 0.0,
+        }
+    }
+}
+
+/// A sized, checked quorum configuration plus its guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuorumPlan {
+    /// Strategies and integer sizes for both sides.
+    pub spec: BiquorumSpec,
+    /// The population the plan was sized for.
+    pub n: usize,
+    /// The target ε the plan was sized against.
+    pub epsilon: f64,
+    /// The plan's actual miss bound `exp(−|Qa||Qℓ|/n)` (0 when the sides
+    /// deterministically overlap) — ≤ ε, usually strictly below it due
+    /// to integer rounding.
+    pub miss_bound: f64,
+    /// Churn budget: the largest population fraction that may change
+    /// (under the configured regime) before `Pr(miss)` exceeds ε — the
+    /// §6.1 refresh trigger. `1.0` means the plan never degrades past ε
+    /// under that regime.
+    pub refresh_churn: f64,
+    /// The churn budget converted to sim-time through the configured
+    /// churn rate; `None` when the rate is 0 or the budget is unlimited.
+    pub refresh_period: Option<SimDuration>,
+}
+
+impl QuorumPlan {
+    /// The plan's guaranteed miss probability (alias for
+    /// [`QuorumPlan::miss_bound`], named for readability in tests).
+    pub fn miss_probability(&self) -> f64 {
+        self.miss_bound
+    }
+}
+
+/// The analytic planner: validated configuration plus the sizing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Planner {
+    cfg: PlannerConfig,
+}
+
+impl Planner {
+    /// Builds a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when ε ∉ (0,1), τ or a cost is not strictly positive, or
+    /// neither strategy is RANDOM (without a uniform side the
+    /// mix-and-match bound — and with it every guarantee the planner
+    /// makes — is void, §5.2/§5.3).
+    pub fn new(cfg: PlannerConfig) -> Self {
+        assert!(cfg.epsilon > 0.0 && cfg.epsilon < 1.0, "epsilon in (0,1)");
+        assert!(
+            cfg.tau > 0.0 && cfg.cost_advertise > 0.0 && cfg.cost_lookup > 0.0,
+            "tau and costs must be positive"
+        );
+        assert!(
+            cfg.advertise_strategy.is_uniform_random() || cfg.lookup_strategy.is_uniform_random(),
+            "mix-and-match needs at least one RANDOM side"
+        );
+        assert!(cfg.churn_per_sec >= 0.0, "churn rate must be non-negative");
+        Planner { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// Emits the checked plan for a population of `n` and a (possibly
+    /// observed) workload ratio `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `tau ≤ 0`, and — by construction — if the
+    /// emitted sizes ever failed the Corollary 5.3 check.
+    pub fn plan(&self, n: usize, tau: f64) -> QuorumPlan {
+        assert!(n > 0, "cannot plan for an empty population");
+        assert!(tau > 0.0 && tau.is_finite(), "tau must be positive");
+        let eps = self.cfg.epsilon;
+        let cap = n as u32;
+        // Lemma 5.6 continuous optimum, rounded to the nearest integer
+        // and clamped to [1, n].
+        let ql_star = analysis::optimal_lookup_size(
+            n,
+            eps,
+            tau,
+            self.cfg.cost_advertise,
+            self.cfg.cost_lookup,
+        );
+        let ql = (ql_star.round() as u32).clamp(1, cap);
+        // Corollary 5.3 partner size (checked rounding), capped at n;
+        // when the cap binds, re-grow the lookup side toward the bound.
+        let qa = spec::min_partner_quorum_size(n, eps, f64::from(ql)).min(cap);
+        let ql = if qa == cap {
+            spec::min_partner_quorum_size(n, eps, f64::from(qa))
+                .min(cap)
+                .max(ql)
+        } else {
+            ql
+        };
+        let spec_pair = BiquorumSpec::new(
+            QuorumSpec::new(self.cfg.advertise_strategy, qa),
+            QuorumSpec::new(self.cfg.lookup_strategy, ql),
+        );
+        // The Corollary 5.3 gate: an undersized plan must never escape.
+        // Fully capped sides (|Qa| = |Qℓ| = n) overlap deterministically,
+        // which is stronger than any product bound.
+        let overlap_certain = qa as usize + ql as usize > n;
+        assert!(
+            spec::satisfies_min_product(qa, ql, n, eps) || overlap_certain,
+            "planner produced an undersized plan: qa={qa} ql={ql} n={n} eps={eps}"
+        );
+        let miss_bound = 1.0 - spec::intersection_lower_bound(qa, ql, n);
+        debug_assert!(miss_bound <= eps + 1e-9);
+        // §6.1 refresh budget: how much churn until the *actual* miss
+        // bound (below ε thanks to rounding) degrades up to ε.
+        let refresh_churn = if miss_bound <= 0.0 {
+            1.0
+        } else {
+            analysis::max_tolerable_churn(miss_bound, 1.0 - eps, self.cfg.churn_regime)
+                .unwrap_or(0.0)
+        };
+        let refresh_period = (self.cfg.churn_per_sec > 0.0 && refresh_churn < 1.0)
+            .then(|| SimDuration::from_secs_f64(refresh_churn / self.cfg.churn_per_sec));
+        QuorumPlan {
+            spec: spec_pair,
+            n,
+            epsilon: eps,
+            miss_bound,
+            refresh_churn,
+            refresh_period,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_working_point_plan() {
+        // n = 800, ε = 0.1, τ = 10, Cost_a:Cost_ℓ = 5:1 →
+        // |Qℓ|* = √(800·2.303·5/10) ≈ 30.3 and |Qa| = ⌈1842.1/30⌉ = 62,
+        // close to the paper's measured 57/33 working point.
+        let planner = Planner::new(PlannerConfig::paper_default());
+        let plan = planner.plan(800, 10.0);
+        assert_eq!(plan.spec.lookup.size, 30);
+        assert_eq!(plan.spec.advertise.size, 62);
+        assert!(plan.miss_bound <= 0.1);
+        assert!(plan.spec.has_mix_and_match_guarantee());
+    }
+
+    #[test]
+    fn refresh_budget_matches_section_6_1() {
+        // A plan sized exactly at ε has no churn headroom; rounding
+        // slack buys a positive refresh budget.
+        let planner = Planner::new(PlannerConfig::paper_default());
+        let plan = planner.plan(800, 10.0);
+        assert!(plan.refresh_churn > 0.0, "rounding slack buys headroom");
+        // With an expected churn rate, the budget becomes a period.
+        let mut cfg = PlannerConfig::paper_default();
+        cfg.churn_per_sec = 0.001; // 0.1 %/s
+        let plan = Planner::new(cfg).plan(800, 10.0);
+        if plan.refresh_churn < 1.0 {
+            let period = plan.refresh_period.expect("rate > 0 gives a period");
+            let expect = plan.refresh_churn / 0.001;
+            assert!((period.as_secs_f64() - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tiny_populations_cap_at_n_and_still_guarantee() {
+        let planner = Planner::new(PlannerConfig::paper_default());
+        for n in 1..20 {
+            let plan = planner.plan(n, 10.0);
+            assert!(plan.spec.advertise.size as usize <= n);
+            assert!(plan.spec.lookup.size as usize <= n);
+            assert!(plan.miss_probability() <= 0.1 + 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn higher_tau_shrinks_lookup_side() {
+        // Lemma 5.6: more lookups per advertise → cheaper (smaller)
+        // lookups, larger advertise quorums.
+        let planner = Planner::new(PlannerConfig::paper_default());
+        let read_heavy = planner.plan(800, 50.0);
+        let write_heavy = planner.plan(800, 2.0);
+        assert!(read_heavy.spec.lookup.size < write_heavy.spec.lookup.size);
+        assert!(read_heavy.spec.advertise.size > write_heavy.spec.advertise.size);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix-and-match needs at least one RANDOM side")]
+    fn rejects_unguaranteed_strategy_pairs() {
+        let cfg = PlannerConfig {
+            advertise_strategy: AccessStrategy::UniquePath,
+            lookup_strategy: AccessStrategy::UniquePath,
+            ..PlannerConfig::paper_default()
+        };
+        let _ = Planner::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn rejects_empty_population() {
+        let _ = Planner::new(PlannerConfig::paper_default()).plan(0, 10.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the planner: over a grid of `(n, ε, τ, Cost_a,
+//! Cost_ℓ)`, every emitted plan satisfies the Corollary 5.3 product
+//! after integer rounding and guarantees `Pr(miss) ≤ ε`.
+
+use pqs_plan::{satisfies_min_product, Planner, PlannerConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_plan_satisfies_corollary_5_3(
+        n in 8usize..2000,
+        eps_mil in 10u32..300,     // ε ∈ [0.01, 0.30)
+        tau_deci in 5u32..500,     // τ ∈ [0.5, 50.0)
+        cost_a_deci in 10u32..300, // Cost_a ∈ [1.0, 30.0)
+        cost_l_deci in 10u32..50,  // Cost_ℓ ∈ [1.0, 5.0)
+    ) {
+        let epsilon = f64::from(eps_mil) / 1000.0;
+        let tau = f64::from(tau_deci) / 10.0;
+        let cfg = PlannerConfig {
+            epsilon,
+            tau,
+            cost_advertise: f64::from(cost_a_deci) / 10.0,
+            cost_lookup: f64::from(cost_l_deci) / 10.0,
+            ..PlannerConfig::paper_default()
+        };
+        let plan = Planner::new(cfg).plan(n, tau);
+        let (qa, ql) = (plan.spec.advertise.size, plan.spec.lookup.size);
+
+        // Sizes are sane: positive and within the universe.
+        prop_assert!(qa >= 1 && ql >= 1);
+        prop_assert!(qa as usize <= n && ql as usize <= n);
+
+        // Corollary 5.3 after rounding (quorums spanning more than the
+        // universe overlap deterministically, which is stronger).
+        prop_assert!(
+            satisfies_min_product(qa, ql, n, epsilon) || qa as usize + ql as usize > n,
+            "undersized: qa={} ql={} n={} eps={}", qa, ql, n, epsilon
+        );
+
+        // The emitted guarantee honours the target.
+        prop_assert!(
+            plan.miss_probability() <= epsilon + 1e-9,
+            "miss {} > eps {} (qa={} ql={} n={})",
+            plan.miss_probability(), epsilon, qa, ql, n
+        );
+
+        // The plan's miss bound is consistent with its own sizes.
+        let recomputed = if (qa as usize) + (ql as usize) > n {
+            0.0
+        } else {
+            (-(f64::from(qa) * f64::from(ql)) / n as f64).exp()
+        };
+        prop_assert!((plan.miss_probability() - recomputed).abs() < 1e-12);
+
+        // The strategy pair keeps the mix-and-match guarantee.
+        prop_assert!(plan.spec.has_mix_and_match_guarantee());
+
+        // The §6.1 refresh budget is a valid fraction.
+        prop_assert!((0.0..=1.0).contains(&plan.refresh_churn));
+    }
+
+    #[test]
+    fn plans_scale_monotonically_with_n(
+        n in 16usize..900,
+        eps_mil in 20u32..200,
+    ) {
+        // Doubling the population never shrinks the required product.
+        let epsilon = f64::from(eps_mil) / 1000.0;
+        let cfg = PlannerConfig { epsilon, ..PlannerConfig::paper_default() };
+        let planner = Planner::new(cfg);
+        let small = planner.plan(n, cfg.tau);
+        let large = planner.plan(n * 2, cfg.tau);
+        let product = |p: &pqs_plan::QuorumPlan| {
+            u64::from(p.spec.advertise.size) * u64::from(p.spec.lookup.size)
+        };
+        prop_assert!(product(&large) >= product(&small));
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic periodic scheduling for runtime controllers.
+//!
+//! A control loop (e.g. the adaptive quorum planner in `pqs-plan`) must
+//! fire at *sim-time* instants that depend only on its configuration —
+//! never on wall-clock, pool width, or how the driver chunks its
+//! `run(until)` calls. [`TickSchedule`] is the tiny primitive that
+//! guarantees this: it owns the next due instant and hands ticks out one
+//! at a time, so a driver advancing to an arbitrary horizon processes
+//! exactly the ticks that fall inside it, in order.
+//!
+//! # Examples
+//!
+//! ```
+//! use pqs_sim::control::TickSchedule;
+//! use pqs_sim::{SimDuration, SimTime};
+//!
+//! let mut ticks = TickSchedule::starting_at(
+//!     SimTime::from_secs(5),
+//!     SimDuration::from_secs(10),
+//! );
+//! // Advance to t = 30s: ticks at 5, 15 and 25 are due.
+//! let horizon = SimTime::from_secs(30);
+//! let mut fired = Vec::new();
+//! while let Some(at) = ticks.next_due(horizon) {
+//!     fired.push(at.as_secs_f64());
+//! }
+//! assert_eq!(fired, vec![5.0, 15.0, 25.0]);
+//! // The schedule resumes where it left off.
+//! assert_eq!(ticks.peek(), SimTime::from_secs(35));
+//! ```
+
+use crate::{SimDuration, SimTime};
+
+/// A deterministic periodic sim-time schedule: first tick at a fixed
+/// instant, then one tick every `interval`.
+///
+/// The schedule never skips and never drifts: tick `i` is always
+/// `first + i·interval`, regardless of how the driver slices time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickSchedule {
+    next: SimTime,
+    interval: SimDuration,
+}
+
+impl TickSchedule {
+    /// Creates a schedule with the first tick at `first` and subsequent
+    /// ticks every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero (the schedule would never advance).
+    pub fn starting_at(first: SimTime, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "tick interval must be positive");
+        TickSchedule {
+            next: first,
+            interval,
+        }
+    }
+
+    /// Creates a schedule whose first tick is one full `interval` after
+    /// `SimTime::ZERO`.
+    pub fn every(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "tick interval must be positive");
+        TickSchedule {
+            next: SimTime::ZERO + interval,
+            interval,
+        }
+    }
+
+    /// The configured tick interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The next tick instant (not yet consumed).
+    pub fn peek(&self) -> SimTime {
+        self.next
+    }
+
+    /// Consumes and returns the next tick if it is due at or before
+    /// `until`; `None` once every tick inside the horizon was handed
+    /// out. Call in a loop to process all due ticks in order.
+    pub fn next_due(&mut self, until: SimTime) -> Option<SimTime> {
+        if self.next > until {
+            return None;
+        }
+        let at = self.next;
+        self.next = at + self.interval;
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order_without_drift() {
+        let mut s = TickSchedule::starting_at(SimTime::from_secs(1), SimDuration::from_secs(2));
+        let mut fired = Vec::new();
+        while let Some(at) = s.next_due(SimTime::from_secs(9)) {
+            fired.push(at);
+        }
+        let expect: Vec<SimTime> = [1u64, 3, 5, 7, 9]
+            .iter()
+            .map(|&t| SimTime::from_secs(t))
+            .collect();
+        assert_eq!(fired, expect);
+        assert_eq!(s.peek(), SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn horizon_slicing_is_invisible() {
+        // Advancing in one big step or many small ones yields the same
+        // tick sequence — the driver's chunking never matters.
+        let collect = |horizons: &[u64]| {
+            let mut s = TickSchedule::every(SimDuration::from_secs(3));
+            let mut fired = Vec::new();
+            for &h in horizons {
+                while let Some(at) = s.next_due(SimTime::from_secs(h)) {
+                    fired.push(at);
+                }
+            }
+            fired
+        };
+        assert_eq!(collect(&[20]), collect(&[1, 2, 3, 7, 11, 19, 20]));
+    }
+
+    #[test]
+    fn nothing_due_before_first_tick() {
+        let mut s = TickSchedule::starting_at(SimTime::from_secs(10), SimDuration::from_secs(1));
+        assert_eq!(s.next_due(SimTime::from_secs(9)), None);
+        assert_eq!(
+            s.next_due(SimTime::from_secs(10)),
+            Some(SimTime::from_secs(10))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tick interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = TickSchedule::every(SimDuration::ZERO);
+    }
+}

@@ -16,6 +16,8 @@
 //!   latency histograms,
 //! - [`pool`]: a bounded work-queue executor with submission-ordered
 //!   result collection (the `PQS_JOBS` fan-out cap),
+//! - [`control`]: deterministic periodic tick schedules for runtime
+//!   controllers (the adaptive quorum planner's clock),
 //! - [`trace`]: a bounded, typed sim-time trace ring,
 //! - [`json`]: a minimal deterministic JSON tree for byte-stable metric
 //!   exports (the vendored `serde` is a no-op stub).
@@ -55,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod json;
 pub mod metrics;
 pub mod pool;

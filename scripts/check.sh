@@ -26,6 +26,9 @@ cargo test -q
 echo "==> observability: metrics export determinism"
 cargo test -q -p pqs-core --test metrics_determinism
 
+echo "==> planner: pqs-plan suites (planner props + controller)"
+cargo test -q -p pqs-plan
+
 echo "==> sweep engine: PQS_JOBS=2 smoke sweep, diff vs sequential"
 seq_dir="$(mktemp -d)"
 par_dir="$(mktemp -d)"
@@ -36,6 +39,14 @@ PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
     cargo run --release -q -p pqs-bench --bin fig8_random >/dev/null
 diff "$seq_dir/fig8_random.json" "$par_dir/fig8_random.json" \
     || { echo "fig8_random.json differs between PQS_JOBS=1 and 2"; exit 1; }
+
+echo "==> adaptive planner: fig_adaptive smoke, diff vs sequential"
+PQS_BENCH_DIR="$seq_dir" PQS_JOBS=1 PQS_SEEDS=1 PQS_SIZES=50 \
+    cargo run --release -q -p pqs-bench --bin fig_adaptive >/dev/null
+PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
+    cargo run --release -q -p pqs-bench --bin fig_adaptive >/dev/null
+diff "$seq_dir/fig_adaptive.json" "$par_dir/fig_adaptive.json" \
+    || { echo "fig_adaptive.json differs between PQS_JOBS=1 and 2"; exit 1; }
 
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test --workspace -q"

@@ -8,10 +8,14 @@
 //! - [`net`]: the wireless substrate (PHY, MAC, mobility, neighbours),
 //! - [`routing`]: AODV multi-hop routing,
 //! - [`core`]: the paper's contribution — probabilistic biquorum systems,
-//!   access strategies, and the quorum-backed location service.
+//!   access strategies, and the quorum-backed location service,
+//! - [`plan`]: the adaptive quorum planner — analytic sizing plus the
+//!   runtime controller that closes the estimator → planner →
+//!   reconfigure loop.
 
 pub use pqs_core as core;
 pub use pqs_graph as graph;
 pub use pqs_net as net;
+pub use pqs_plan as plan;
 pub use pqs_routing as routing;
 pub use pqs_sim as sim;
