@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the medium hot path: `begin_tx` /
+//! `end_tx` churn at increasing node counts. After the incremental
+//! interference rework the per-transmission cost depends on the local
+//! neighbourhood, not the global node count — the 800-node case should
+//! sit close to the 50-node case once density is fixed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pqs_net::geometry::Point;
+use pqs_net::phy::{Medium, TxId};
+use pqs_net::PhyConfig;
+use pqs_sim::SimTime;
+use std::hint::black_box;
+
+/// Nodes scattered deterministically over a square sized to keep the
+/// density (nodes per interference disc) constant across `n`.
+fn layout(n: usize, phy: &PhyConfig) -> (f64, Vec<(u32, Point)>) {
+    // ~12 nodes per interference disc, as in the paper scenarios.
+    let disc = std::f64::consts::PI * phy.interference_range_m.powi(2);
+    let side = (n as f64 * disc / 12.0).sqrt();
+    let nodes = (0..n)
+        .map(|i| {
+            // Low-discrepancy-ish hash scatter; deterministic.
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let x = (h >> 32) as f64 / u32::MAX as f64 * side;
+            let y = (h & 0xffff_ffff) as f64 / u32::MAX as f64 * side;
+            (i as u32, Point::new(x, y))
+        })
+        .collect();
+    (side, nodes)
+}
+
+/// Per-sender candidate lists: nodes within interference range, as the
+/// network layer's spatial grid would supply them.
+fn candidate_lists(phy: &PhyConfig, nodes: &[(u32, Point)]) -> Vec<Vec<(u32, Point)>> {
+    nodes
+        .iter()
+        .map(|&(sender, pos)| {
+            nodes
+                .iter()
+                .copied()
+                .filter(|&(n, p)| n != sender && p.distance(pos) <= phy.interference_range_m)
+                .collect()
+        })
+        .collect()
+}
+
+/// One churn round: every 8th node transmits, frames end in FIFO order.
+fn churn(phy: PhyConfig, side: f64, nodes: &[(u32, Point)], cands: &[Vec<(u32, Point)>]) {
+    let mut medium = Medium::new(phy, side);
+    let mut next = 0u64;
+    let mut active = std::collections::VecDeque::new();
+    for round in 0..4u64 {
+        for (i, &(sender, pos)) in nodes.iter().enumerate().step_by(8) {
+            let id = TxId(next);
+            next += 1;
+            let end = SimTime::from_micros(round * 100 + i as u64);
+            black_box(medium.begin_tx(id, sender, pos, end, &cands[i]));
+            active.push_back(id);
+            if active.len() > 6 {
+                let done = active.pop_front().expect("nonempty");
+                black_box(medium.end_tx(done));
+            }
+        }
+    }
+    while let Some(id) = active.pop_front() {
+        black_box(medium.end_tx(id));
+    }
+}
+
+fn bench_medium(c: &mut Criterion) {
+    for &n in &[50usize, 200, 800] {
+        let phy = PhyConfig::default();
+        let (side, nodes) = layout(n, &phy);
+        let cands = candidate_lists(&phy, &nodes);
+        c.bench_function(&format!("phy/churn_{n}_nodes"), |b| {
+            b.iter_batched(
+                || phy,
+                |phy| churn(phy, side, &nodes, &cands),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+criterion_group!(benches, bench_medium);
+criterion_main!(benches);

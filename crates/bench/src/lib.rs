@@ -367,6 +367,10 @@ pub mod report {
             ("sweeps", JsonValue::from(state.perf.sweeps)),
             ("jobs", JsonValue::from(state.perf.jobs)),
             (
+                "jobs_source",
+                JsonValue::from(pqs_sim::pool::width_source()),
+            ),
+            (
                 "wall_ms",
                 JsonValue::from(state.perf.wall.as_millis() as u64),
             ),

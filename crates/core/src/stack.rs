@@ -1395,8 +1395,10 @@ impl QuorumStack {
     pub fn dispatch(&mut self, net: &mut QuorumNet, events: Vec<RouterEvent<AppMsg>>) {
         for event in events {
             match event {
+                // Payloads arrive shared (`Payload<AppMsg>`); handlers
+                // borrow and copy out only the fields they keep.
                 RouterEvent::Delivered { node, payload, .. } => {
-                    self.on_app_msg(net, node, None, payload);
+                    self.on_app_msg(net, node, None, &payload);
                 }
                 RouterEvent::OneHop {
                     node,
@@ -1405,9 +1407,9 @@ impl QuorumStack {
                     overheard,
                 } => {
                     if overheard {
-                        self.on_overheard(net, node, from, payload);
+                        self.on_overheard(net, node, from, &payload);
                     } else {
-                        self.on_app_msg(net, node, Some(from), payload);
+                        self.on_app_msg(net, node, Some(from), &payload);
                     }
                 }
                 RouterEvent::Transit {
@@ -1416,7 +1418,7 @@ impl QuorumStack {
                     payload,
                     ..
                 } => {
-                    self.on_transit(net, node, handle, payload);
+                    self.on_transit(net, node, handle, &payload);
                 }
                 RouterEvent::SendDone { node, token, ok } => {
                     self.on_route_done(net, node, token, ok);
@@ -1438,16 +1440,16 @@ impl QuorumStack {
         }
     }
 
-    fn on_app_msg(&mut self, net: &mut QuorumNet, at: NodeId, from: Option<NodeId>, msg: AppMsg) {
+    fn on_app_msg(&mut self, net: &mut QuorumNet, at: NodeId, from: Option<NodeId>, msg: &AppMsg) {
         match msg {
             AppMsg::Store { op, key, value } => {
-                self.stores[at.index()].insert(key, value, Role::Owner);
-                self.note_store_placed(net.now(), op);
+                self.stores[at.index()].insert(*key, *value, Role::Owner);
+                self.note_store_placed(net.now(), *op);
             }
             AppMsg::LookupReq { op, key, origin } => {
-                let found = self.stores[at.index()].lookup_all(key);
+                let found = self.stores[at.index()].lookup_all(*key);
                 if !found.is_empty() {
-                    if let Some(rec) = self.ops.get_mut(&op) {
+                    if let Some(rec) = self.ops.get_mut(op) {
                         rec.intersected = true;
                     }
                 }
@@ -1456,14 +1458,15 @@ impl QuorumStack {
                 // miss notifications to advance.
                 if !found.is_empty() || self.cfg.lookup_fanout == Fanout::Serial {
                     let token = self.token();
-                    self.route_ctx.insert(token, RouteCtx::ReplyRouted { op });
+                    self.route_ctx
+                        .insert(token, RouteCtx::ReplyRouted { op: *op });
                     let events = self.router.send_data(
                         net,
                         at,
-                        origin,
+                        *origin,
                         AppMsg::LookupReply {
-                            op,
-                            key,
+                            op: *op,
+                            key: *key,
                             values: found,
                         },
                         token,
@@ -1474,18 +1477,18 @@ impl QuorumStack {
             }
             AppMsg::LookupReply { op, values, .. } => {
                 if values.is_empty() {
-                    self.serial_advance(net, op);
+                    self.serial_advance(net, *op);
                 } else {
-                    self.complete_lookup_values(net, op, values);
+                    self.complete_lookup_values(net, *op, values.clone());
                 }
             }
-            AppMsg::Walk(walk) => self.walk_arrive(net, at, walk),
-            AppMsg::WalkReply(reply) => self.reply_arrive(net, at, reply),
+            AppMsg::Walk(walk) => self.walk_arrive(net, at, walk.clone()),
+            AppMsg::WalkReply(reply) => self.reply_arrive(net, at, reply.clone()),
             AppMsg::Flood(flood) => {
                 let from = from.expect("floods travel one hop");
-                self.flood_arrive(net, at, from, flood);
+                self.flood_arrive(net, at, from, flood.clone());
             }
-            AppMsg::FloodReply(reply) => self.forward_flood_reply(net, at, reply),
+            AppMsg::FloodReply(reply) => self.forward_flood_reply(net, at, reply.clone()),
         }
     }
 
@@ -1494,7 +1497,7 @@ impl QuorumStack {
         net: &mut QuorumNet,
         node: NodeId,
         handle: TransitHandle,
-        payload: AppMsg,
+        payload: &AppMsg,
     ) {
         match payload {
             // RANDOM-OPT advertise: relays join the advertise quorum
@@ -1503,8 +1506,8 @@ impl QuorumStack {
             AppMsg::Store { op, key, value }
                 if self.cfg.spec.advertise.strategy == AccessStrategy::RandomOpt =>
             {
-                self.stores[node.index()].insert(key, value, Role::Owner);
-                self.note_store_placed(net.now(), op);
+                self.stores[node.index()].insert(*key, *value, Role::Owner);
+                self.note_store_placed(net.now(), *op);
                 let events = self.router.forward_transit(net, handle);
                 self.dispatch(net, events);
             }
@@ -1513,21 +1516,22 @@ impl QuorumStack {
             AppMsg::LookupReq { op, key, origin }
                 if self.cfg.spec.lookup.strategy == AccessStrategy::RandomOpt =>
             {
-                let found = self.stores[node.index()].lookup_all(key);
+                let found = self.stores[node.index()].lookup_all(*key);
                 if !found.is_empty() {
-                    if let Some(rec) = self.ops.get_mut(&op) {
+                    if let Some(rec) = self.ops.get_mut(op) {
                         rec.intersected = true;
                     }
                     self.router.consume_transit(handle);
                     let token = self.token();
-                    self.route_ctx.insert(token, RouteCtx::ReplyRouted { op });
+                    self.route_ctx
+                        .insert(token, RouteCtx::ReplyRouted { op: *op });
                     let events = self.router.send_data(
                         net,
                         node,
-                        origin,
+                        *origin,
                         AppMsg::LookupReply {
-                            op,
-                            key,
+                            op: *op,
+                            key: *key,
                             values: found,
                         },
                         token,
@@ -1546,9 +1550,9 @@ impl QuorumStack {
         }
     }
 
-    fn on_overheard(&mut self, net: &mut QuorumNet, node: NodeId, _from: NodeId, msg: AppMsg) {
+    fn on_overheard(&mut self, net: &mut QuorumNet, node: NodeId, _from: NodeId, msg: &AppMsg) {
         if self.cfg.caching {
-            match &msg {
+            match msg {
                 AppMsg::Store { key, value, .. } => {
                     self.stores[node.index()].insert(*key, *value, Role::Bystander);
                 }
@@ -1559,7 +1563,7 @@ impl QuorumStack {
             }
         }
         if self.cfg.promiscuous_replies {
-            if let AppMsg::Walk(walk) = &msg {
+            if let AppMsg::Walk(walk) = msg {
                 if let QuorumAction::Lookup { key } = walk.action {
                     if let Some(value) = self.stores[node.index()].lookup(key) {
                         if let Some(rec) = self.ops.get_mut(&walk.op) {

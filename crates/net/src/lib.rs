@@ -29,7 +29,8 @@
 //! impl Stack<&'static str> for Count {
 //!     fn on_upcall(&mut self, _net: &mut Network<&'static str>, up: Upcall<&'static str>) {
 //!         if let Upcall::Frame { payload, .. } = up {
-//!             assert_eq!(payload, "hi");
+//!             // `payload` is a shared `Payload<P>`; deref to reach `P`.
+//!             assert_eq!(*payload, "hi");
 //!             self.0 += 1;
 //!         }
 //!     }
@@ -54,6 +55,7 @@ pub mod geometry;
 pub mod mac;
 pub mod mobility;
 mod network;
+pub mod payload;
 pub mod phy;
 mod stats;
 
@@ -62,6 +64,7 @@ pub use faults::{FaultInjector, FaultPlan, FaultScope, FrameFaultRule, NodeFault
 pub use mac::MacDst;
 pub use mobility::MobilityModel;
 pub use network::{Network, Stack, Upcall};
+pub use payload::Payload;
 pub use stats::NetStats;
 
 use serde::{Deserialize, Serialize};

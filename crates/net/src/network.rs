@@ -7,14 +7,15 @@ use crate::faults::{FaultInjector, FaultPlan, FrameFate, NodeFaultEvent};
 use crate::geometry::{Point, SpatialGrid};
 use crate::mac::{Frame, FrameKind, MacDst, MacPhase, MacState};
 use crate::mobility::{self, MobilityModel, Motion};
+use crate::payload::Payload;
 use crate::phy::{Medium, TxId};
 use crate::stats::NetStats;
 use crate::NodeId;
+use pqs_sim::hash::FastMap;
 use pqs_sim::rng::{self, streams};
 use pqs_sim::{EventId, Scheduler, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Events processed by the network substrate.
 #[derive(Debug, Clone)]
@@ -56,8 +57,9 @@ pub enum Upcall<P> {
         from: NodeId,
         /// Link destination the frame was sent to.
         dst: MacDst,
-        /// The payload.
-        payload: P,
+        /// The payload, shared (not copied) across all receivers of the
+        /// same transmission — see [`Payload`].
+        payload: Payload<P>,
         /// `true` if this frame was addressed to another node and only
         /// overheard (promiscuous mode).
         overheard: bool,
@@ -114,7 +116,7 @@ struct NodeState {
 
 struct Inflight<P> {
     sender: NodeId,
-    frame: Frame<P>,
+    frame: Frame<Payload<P>>,
 }
 
 /// The wireless ad hoc network: `n` nodes on a square area with the
@@ -130,9 +132,9 @@ pub struct Network<P> {
     medium: Medium,
     grid: SpatialGrid,
     nodes: Vec<NodeState>,
-    macs: Vec<MacState<P>>,
-    neighbors: Vec<HashMap<NodeId, SimTime>>,
-    inflight: HashMap<u64, Inflight<P>>,
+    macs: Vec<MacState<Payload<P>>>,
+    neighbors: Vec<FastMap<NodeId, SimTime>>,
+    inflight: FastMap<u64, Inflight<P>>,
     next_tx_id: u64,
     mac_rng: StdRng,
     stats: NetStats,
@@ -141,8 +143,11 @@ pub struct Network<P> {
     node_load: Vec<u64>,
     grid_slack_m: f64,
     faults: Option<FaultInjector>,
-    delayed: HashMap<u64, Upcall<P>>,
+    delayed: FastMap<u64, Upcall<P>>,
     next_delayed_id: u64,
+    /// Reusable candidate-receiver buffer (avoids a fresh allocation per
+    /// transmission on the hot path).
+    cand_scratch: Vec<(u32, Point)>,
 }
 
 impl<P: Clone> Network<P> {
@@ -216,22 +221,23 @@ impl<P: Clone> Network<P> {
         scheduler.schedule_at(SimTime::ZERO + grid_refresh, Event::GridRefresh);
 
         let mut net = Network {
-            medium: Medium::new(config.phy),
+            medium: Medium::new(config.phy, side),
             side,
             scheduler,
             grid,
-            neighbors: vec![HashMap::new(); config.n],
+            neighbors: vec![FastMap::default(); config.n],
             nodes,
             macs,
-            inflight: HashMap::new(),
+            inflight: FastMap::default(),
             next_tx_id: 0,
             mac_rng,
             stats: NetStats::default(),
             node_load: vec![0; config.n],
             grid_slack_m,
             faults: None,
-            delayed: HashMap::new(),
+            delayed: FastMap::default(),
             next_delayed_id: 0,
+            cand_scratch: Vec::new(),
             config,
         };
         if net.config.prepopulate_neighbors {
@@ -343,8 +349,14 @@ impl<P: Clone> Network<P> {
         if !self.is_alive(node) {
             return false;
         }
-        let was_idle =
-            self.macs[node.index()].enqueue(dst, FrameKind::Data(payload), Some(token), bytes);
+        // Wrapped once here; every retry, receiver and promiscuous
+        // overhear shares the same allocation from now on.
+        let was_idle = self.macs[node.index()].enqueue(
+            dst,
+            FrameKind::Data(Payload::new(payload)),
+            Some(token),
+            bytes,
+        );
         if was_idle {
             self.schedule_attempt_for_head(node);
         }
@@ -384,7 +396,7 @@ impl<P: Clone> Network<P> {
             ack_timeout: None,
         });
         self.macs.push(MacState::new(self.config.mac.cw_min));
-        self.neighbors.push(HashMap::new());
+        self.neighbors.push(FastMap::default());
         self.node_load.push(0);
         id
     }
@@ -451,6 +463,14 @@ impl<P: Clone> Network<P> {
     /// id — the per-node load profile (GeoQuorum-style balance analysis).
     pub fn node_loads(&self) -> &[u64] {
         &self.node_load
+    }
+
+    /// Nodes currently locked onto an in-flight transmission at the PHY.
+    /// Exposed for the regression test that a crashed node is purged from
+    /// the candidate grid at fail time and never re-admitted.
+    #[doc(hidden)]
+    pub fn phy_pending_receivers(&self) -> Vec<NodeId> {
+        self.medium.pending_receivers().map(NodeId).collect()
     }
 
     /// Causality-violating (past-timestamp) schedules clamped by the
@@ -550,13 +570,15 @@ impl<P: Clone> Network<P> {
             .schedule_in(jitter + mac_cfg.difs + backoff, Event::MacAttempt { node });
     }
 
-    /// Candidate receivers around `pos`: all alive nodes within the
-    /// interference range (plus mobility slack), with their exact
-    /// positions.
-    fn candidates_around(&self, sender: NodeId, pos: Point) -> Vec<(u32, Point)> {
+    /// Collects candidate receivers around `pos` into `out`: all alive
+    /// nodes within the interference range (plus mobility slack), with
+    /// their exact positions. Dead nodes are removed from the grid at
+    /// fail time, so a crashed node can never appear here even between
+    /// grid refreshes.
+    fn candidates_around(&self, sender: NodeId, pos: Point, out: &mut Vec<(u32, Point)>) {
         let now = self.scheduler.now();
         let radius = self.config.phy.interference_range_m + self.grid_slack_m;
-        let mut out = Vec::new();
+        out.clear();
         for id in self.grid.nearby(pos, radius) {
             if id == sender.0 {
                 continue;
@@ -567,10 +589,9 @@ impl<P: Clone> Network<P> {
             }
             out.push((id, state.motion.position(now)));
         }
-        out
     }
 
-    fn transmit(&mut self, node: NodeId, frame: Frame<P>, bytes: usize) {
+    fn transmit(&mut self, node: NodeId, frame: Frame<Payload<P>>, bytes: usize) {
         let mac_cfg = self.config.mac;
         let now = self.scheduler.now();
         let pos = self.position_now(node);
@@ -598,9 +619,17 @@ impl<P: Clone> Network<P> {
         self.stats.phy_tx += 1;
         let tx = self.next_tx_id;
         self.next_tx_id += 1;
-        let candidates = self.candidates_around(node, pos);
-        self.medium
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        self.candidates_around(node, pos, &mut candidates);
+        let aborted = self
+            .medium
             .begin_tx(TxId(tx), node.0, pos, now + airtime, &candidates);
+        self.cand_scratch = candidates;
+        if aborted.is_some() {
+            // Half-duplex turnaround: the sender abandoned a reception in
+            // progress to transmit. Account it instead of losing it.
+            self.stats.phy_rx_aborted += 1;
+        }
         self.inflight.insert(
             tx,
             Inflight {

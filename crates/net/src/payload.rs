@@ -1,0 +1,84 @@
+//! Shared, cheaply-clonable frame payloads.
+//!
+//! Broadcast and promiscuous decode hand the *same* frame to many
+//! receivers; MAC retries re-send the same frame several times. Cloning
+//! the payload once per receiver/attempt is pure overhead — the payload is
+//! immutable once on the air. [`Payload`] wraps it in an [`Arc`] so every
+//! hand-off is a reference-count bump, independent of payload size.
+//!
+//! Custom payload types need no extra traits: `P` is wrapped when the
+//! frame is first handed to the network (e.g. [`crate::Network::send`])
+//! and upcalls expose `&P` through [`Deref`]. Call [`Payload::as_ref`]
+//! and clone only if an owned `P` is genuinely needed.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted payload.
+///
+/// `clone` is O(1) (an atomic increment) regardless of `P`'s size. `Arc`
+/// rather than `Rc` because sweep jobs move whole simulations across the
+/// worker pool.
+pub struct Payload<P>(Arc<P>);
+
+impl<P> Payload<P> {
+    /// Wraps a payload for zero-copy sharing.
+    pub fn new(payload: P) -> Self {
+        Payload(Arc::new(payload))
+    }
+}
+
+impl<P> AsRef<P> for Payload<P> {
+    fn as_ref(&self) -> &P {
+        &self.0
+    }
+}
+
+impl<P> Clone for Payload<P> {
+    fn clone(&self) -> Self {
+        Payload(Arc::clone(&self.0))
+    }
+}
+
+impl<P> Deref for Payload<P> {
+    type Target = P;
+
+    fn deref(&self) -> &P {
+        &self.0
+    }
+}
+
+impl<P> From<P> for Payload<P> {
+    fn from(payload: P) -> Self {
+        Payload::new(payload)
+    }
+}
+
+impl<P: fmt::Debug> fmt::Debug for Payload<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<P: PartialEq> PartialEq for Payload<P> {
+    fn eq(&self, other: &Self) -> bool {
+        *self.0 == *other.0
+    }
+}
+
+impl<P: Eq> Eq for Payload<P> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Payload::new(vec![1u8; 1024]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_ref(), b.as_ref()));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1024); // Deref reaches the inner Vec
+    }
+}

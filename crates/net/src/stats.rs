@@ -55,6 +55,12 @@ pub struct NetStats {
     /// Unicast data frames the intended receiver never decoded
     /// (collision, SINR, out of range, or receiver down).
     pub unicast_lost: u64,
+    /// Receptions aborted because the receiving node started transmitting
+    /// mid-frame (half-duplex turnaround). The discarded frame is counted
+    /// here instead of vanishing silently; if it was unicast data for this
+    /// receiver it still surfaces as `unicast_lost` when the transmission
+    /// ends, so the conservation invariant is unaffected.
+    pub phy_rx_aborted: u64,
 }
 
 impl NetStats {
@@ -77,6 +83,7 @@ impl NetStats {
         self.unicast_dup_discarded += other.unicast_dup_discarded;
         self.unicast_fault_dropped += other.unicast_fault_dropped;
         self.unicast_lost += other.unicast_lost;
+        self.phy_rx_aborted += other.phy_rx_aborted;
     }
 }
 
@@ -109,6 +116,7 @@ impl ToJson for NetStats {
                 JsonValue::from(self.unicast_fault_dropped),
             ),
             ("unicast_lost", JsonValue::from(self.unicast_lost)),
+            ("phy_rx_aborted", JsonValue::from(self.phy_rx_aborted)),
         ])
     }
 }
@@ -137,10 +145,12 @@ mod tests {
             unicast_dup_discarded: 13,
             unicast_fault_dropped: 14,
             unicast_lost: 15,
+            phy_rx_aborted: 18,
         };
         a.merge(&a.clone());
         assert_eq!(a.phy_tx, 2);
         assert_eq!(a.mac_retries, 14);
+        assert_eq!(a.phy_rx_aborted, 36);
         assert_eq!(NetStats::default().phy_tx, 0);
     }
 }

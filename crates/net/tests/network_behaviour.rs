@@ -24,7 +24,9 @@ impl Stack<String> for Recorder {
                 payload,
                 overheard,
                 ..
-            } => self.frames.push((at, from, payload, overheard)),
+            } => self
+                .frames
+                .push((at, from, payload.as_ref().clone(), overheard)),
             Upcall::SendResult { node, token, ok } => self.results.push((node, token, ok)),
             Upcall::Timer { node, token } => self.timers.push((node, token)),
             Upcall::NodeFailed { node } => self.failed.push(node),
@@ -327,4 +329,60 @@ fn promiscuous_mode_overhears_unicast() {
     let direct: Vec<_> = rec.frames.iter().filter(|f| !f.3).collect();
     assert_eq!(direct.len(), 1);
     assert_eq!(direct[0].0, b);
+}
+
+#[test]
+fn crashed_node_is_never_a_phy_candidate() {
+    // Regression: a crashed node must be purged from the candidate grid
+    // at fail time — no stale grid residue may ever admit it as a PHY
+    // receiver. We probe the medium's pending-receiver set at sub-airtime
+    // granularity while a neighbour keeps broadcasting over the corpse.
+    let mut net = Network::new(static_config(50, 31));
+    let mut rec = Recorder::default();
+    let (a, victim) = net
+        .alive_nodes()
+        .into_iter()
+        .find_map(|n| {
+            let nbrs = net.neighbors(n);
+            (nbrs.len() >= 2).then(|| (n, nbrs[0]))
+        })
+        .expect("dense enough");
+    net.schedule_fail(victim, SimTime::from_millis(10));
+    net.run(&mut rec, SimTime::from_millis(20));
+    assert!(!net.is_alive(victim), "victim must be down");
+
+    let mut saw_pending = false;
+    let t0 = SimTime::from_millis(20);
+    for i in 0..400u64 {
+        if i % 20 == 0 {
+            net.send(a, MacDst::Broadcast, format!("b{i}"), i);
+        }
+        // 200 µs steps: several probes per frame airtime.
+        net.run(&mut rec, t0 + SimDuration::from_micros(200 * (i + 1)));
+        let pending = net.phy_pending_receivers();
+        assert!(
+            !pending.contains(&victim),
+            "crashed node {victim} appeared as a PHY receiver at step {i}"
+        );
+        saw_pending |= !pending.is_empty();
+    }
+    assert!(
+        saw_pending,
+        "probe never observed an in-flight reception; test is vacuous"
+    );
+    // Recovery restores candidacy: the node decodes frames again.
+    net.schedule_join(victim, net.now() + SimDuration::from_millis(1));
+    let mut rec2 = Recorder::default();
+    let resume = net.now() + SimDuration::from_millis(5);
+    net.run(&mut rec2, resume);
+    for i in 0..20u64 {
+        net.send(a, MacDst::Broadcast, format!("r{i}"), 1_000 + i);
+        net.run(&mut rec2, resume + SimDuration::from_millis(20 * (i + 1)));
+    }
+    assert!(
+        rec2.frames
+            .iter()
+            .any(|&(at, from, ..)| at == victim && from == a),
+        "rejoined node must decode frames again"
+    );
 }

@@ -1,7 +1,7 @@
 //! The AODV protocol engine.
 
 use crate::table::RouteTable;
-use pqs_net::{MacDst, Network, NodeId, Upcall};
+use pqs_net::{MacDst, Network, NodeId, Payload, Upcall};
 use pqs_sim::{EventId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -68,12 +68,13 @@ pub enum RoutePacket<P> {
         id: u64,
         /// Remaining time-to-live (loop protection).
         ttl: u8,
-        /// The payload.
-        payload: P,
+        /// The payload, shared so per-hop forwards and per-receiver
+        /// deliveries never deep-copy application data.
+        payload: Payload<P>,
     },
     /// Link-local application traffic; the router passes it through
     /// untouched as [`RouterEvent::OneHop`].
-    OneHop(P),
+    OneHop(Payload<P>),
 }
 
 /// AODV parameters.
@@ -172,8 +173,8 @@ pub enum RouterEvent<P> {
         node: NodeId,
         /// The originator.
         src: NodeId,
-        /// The payload.
-        payload: P,
+        /// The payload (shared; deref or clone the [`Payload`] as needed).
+        payload: Payload<P>,
     },
     /// A data packet is transiting `node` (only with
     /// [`RouterConfig::transit_tap`]); the stack must call
@@ -187,8 +188,8 @@ pub enum RouterEvent<P> {
         dst: NodeId,
         /// Handle for forward/consume.
         handle: TransitHandle,
-        /// The payload (clone; the router retains the packet).
-        payload: P,
+        /// The payload (shared with the retained packet).
+        payload: Payload<P>,
     },
     /// Outcome of a [`Router::send_data`] call: `ok = true` once the
     /// packet left the originator toward an established route; `false`
@@ -214,8 +215,8 @@ pub enum RouterEvent<P> {
         node: NodeId,
         /// One-hop sender.
         from: NodeId,
-        /// The payload.
-        payload: P,
+        /// The payload (shared across every node that heard the frame).
+        payload: Payload<P>,
         /// `true` if overheard in promiscuous mode.
         overheard: bool,
     },
@@ -255,7 +256,7 @@ pub struct TransitHandle(u64);
 
 #[derive(Debug)]
 struct Discovery<P> {
-    buffered: Vec<(P, u64)>,
+    buffered: Vec<(Payload<P>, u64)>,
     ttl: u8,
     full_attempts: u32,
     max_ttl: Option<u8>,
@@ -370,6 +371,9 @@ impl<P: Clone> Router<P> {
         app_token: u64,
         max_ttl: Option<u8>,
     ) -> Vec<RouterEvent<P>> {
+        // Shared from here on: buffering, retries and every hop reuse the
+        // same allocation.
+        let payload = Payload::new(payload);
         if node == dst {
             self.stats.data_delivered += 1;
             return vec![
@@ -431,7 +435,7 @@ impl<P: Clone> Router<P> {
         net.send_sized(
             node,
             dst,
-            RoutePacket::OneHop(payload),
+            RoutePacket::OneHop(Payload::new(payload)),
             link_token,
             wire_bytes,
         )
@@ -443,7 +447,7 @@ impl<P: Clone> Router<P> {
         net: &mut Network<RoutePacket<P>>,
         node: NodeId,
         dst: NodeId,
-        payload: P,
+        payload: Payload<P>,
         app_token: Option<u64>,
         next_hop: NodeId,
         max_ttl: Option<u8>,
@@ -487,7 +491,7 @@ impl<P: Clone> Router<P> {
         net: &mut Network<RoutePacket<P>>,
         node: NodeId,
         dst: NodeId,
-        payload: P,
+        payload: Payload<P>,
         app_token: u64,
         max_ttl: Option<u8>,
     ) {
@@ -642,9 +646,15 @@ impl<P: Clone> Router<P> {
         net: &mut Network<RoutePacket<P>>,
         at: NodeId,
         from: NodeId,
-        packet: RoutePacket<P>,
+        payload: Payload<RoutePacket<P>>,
         overheard: bool,
     ) -> Vec<RouterEvent<P>> {
+        // The substrate shares one `RoutePacket` among all receivers; each
+        // node takes its own copy because forwarding mutates TTL/hops.
+        // This clone is shallow — `Data`/`OneHop` hold the application
+        // payload behind its own `Payload`, so no application data is
+        // copied.
+        let packet: RoutePacket<P> = payload.as_ref().clone();
         if overheard {
             // Only link-local application traffic is interesting to
             // overhear (the §7.2 optimisation); routing control is not.

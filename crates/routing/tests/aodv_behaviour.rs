@@ -33,7 +33,7 @@ impl RoutedStack {
         for ev in events {
             match ev {
                 RouterEvent::Delivered { node, src, payload } => {
-                    self.delivered.push((node, src, payload))
+                    self.delivered.push((node, src, payload.as_ref().clone()))
                 }
                 RouterEvent::SendDone { node, token, ok } => self.send_done.push((node, token, ok)),
                 RouterEvent::RouteBroken { node, dst } => self.route_broken.push((node, dst)),
@@ -42,7 +42,7 @@ impl RoutedStack {
                     from,
                     payload,
                     ..
-                } => self.one_hop.push((node, from, payload)),
+                } => self.one_hop.push((node, from, payload.as_ref().clone())),
                 RouterEvent::Transit { handle, .. } => {
                     self.transits += 1;
                     let more = self.router.forward_transit(net, handle);

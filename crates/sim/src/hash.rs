@@ -1,0 +1,120 @@
+//! A fast, deterministic hasher for integer-keyed hot-path maps.
+//!
+//! `std`'s default `SipHash` is DoS-resistant but costs tens of cycles
+//! per lookup, which profiles showed on the per-transmission PHY path
+//! (`tx_slot`, in-flight frame tables, neighbour tables). Simulation
+//! keys are small trusted integers (transmission counters, node ids),
+//! so a Fibonacci multiply-mix suffices. Determinism note: unlike
+//! `RandomState` this hasher is seed-free, so map *iteration order* is
+//! stable across runs — but no simulation code may depend on map order
+//! anyway (exports are already byte-identical under `RandomState`'s
+//! per-process random seeds).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the deterministic [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` with the deterministic [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// Fibonacci multiply-mix hasher for small integer keys.
+///
+/// Each word-sized write folds the value in with an xor, multiplies by
+/// `2⁶⁴/φ` (odd, so the map is a bijection) and rotates so the
+/// high-entropy product bits land where `hashbrown` looks for them
+/// (top 7 bits for control bytes, low bits for bucket index).
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher(u64);
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15; // ⌊2⁶⁴ / φ⌋, odd
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte-slice fallback (FNV-style); integer keys hit the
+        // specialised paths below.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(SEED).rotate_left(26);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.write_u64(n as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // Sequential tx ids must not collide in the low bits hashbrown
+        // uses for bucket selection.
+        let mut low = FastSet::default();
+        for n in 0u64..1024 {
+            let mut h = FastHasher::default();
+            h.write_u64(n);
+            low.insert(h.finish() & 0x3ff);
+        }
+        assert!(low.len() > 600, "low-bit spread too weak: {}", low.len());
+    }
+
+    #[test]
+    fn map_works_end_to_end() {
+        let mut m: FastMap<u64, usize> = FastMap::default();
+        for i in 0..100u64 {
+            m.insert(i, i as usize * 2);
+        }
+        for i in 0..100u64 {
+            assert_eq!(m.get(&i), Some(&(i as usize * 2)));
+        }
+    }
+}

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod pool;

@@ -48,9 +48,21 @@ PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
 diff "$seq_dir/fig_adaptive.json" "$par_dir/fig_adaptive.json" \
     || { echo "fig_adaptive.json differs between PQS_JOBS=1 and 2"; exit 1; }
 
+echo "==> perf sidecars: pool_width >= 1 and PQS_JOBS provenance recorded"
+for sidecar in bench_results/*.perf.json; do
+    [[ -e "$sidecar" ]] || continue
+    grep -q '"jobs_source": *"\(env\|default\)"' "$sidecar" \
+        || { echo "$sidecar: missing jobs_source provenance"; exit 1; }
+    grep -q '"pool_width": *[1-9]' "$sidecar" \
+        || { echo "$sidecar: pool_width must be >= 1"; exit 1; }
+done
+
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test --workspace -q"
     cargo test --workspace -q
+
+    echo "==> criterion smoke: phy churn micro-bench"
+    cargo bench -p pqs-bench --bench phy >/dev/null
 fi
 
 echo "==> all checks passed"
