@@ -118,6 +118,16 @@ pub fn adaptive() -> bool {
     }
 }
 
+/// Returns `true` unless `PQS_BYZ` is set falsy (skip the Byzantine
+/// arms of `fig_byzantine`; the fault-free baseline still runs).
+/// Defaults to `true`; aborts on anything unparseable.
+pub fn byz() -> bool {
+    match std::env::var("PQS_BYZ") {
+        Err(_) => true,
+        Ok(raw) => parse_bool_knob("PQS_BYZ", &raw).unwrap_or_else(|msg| fail_knob(&msg)),
+    }
+}
+
 /// The network sizes swept by the paper, trimmed to keep default
 /// runtimes sane unless `PQS_FULL=1`; `PQS_SIZES=50,100` overrides the
 /// list outright (smoke tests, CI).

@@ -68,6 +68,9 @@ pub struct ReplyMsg {
     pub key: Key,
     /// The value found.
     pub value: Value,
+    /// The node that answered — the vote a masking reader attributes the
+    /// value to (duplicated frames must not double-count a responder).
+    pub from: NodeId,
     /// Remaining reverse path: `path[0]` is the lookup originator and the
     /// *last* element is the next hop. Each hop pops itself off the end.
     pub path: Vec<NodeId>,
@@ -98,6 +101,8 @@ pub struct FloodReplyMsg {
     pub key: Key,
     /// The value found.
     pub value: Value,
+    /// The node that answered (the masking vote's attribution).
+    pub from: NodeId,
     /// The flood id whose parent chain the reply follows.
     pub flood: u64,
     /// The lookup originator.
@@ -136,6 +141,8 @@ pub enum AppMsg {
         op: OpId,
         /// Key that was looked up.
         key: Key,
+        /// The responding node (the masking vote's attribution).
+        from: NodeId,
         /// The values held by the responder (empty on a miss).
         values: Vec<Value>,
     },
@@ -170,6 +177,7 @@ mod tests {
             op: 1,
             key: 2,
             value: 3,
+            from: NodeId(9),
             path: vec![NodeId(0), NodeId(4), NodeId(9)],
         };
         assert_eq!(*reply.path.last().unwrap(), NodeId(9));

@@ -73,6 +73,20 @@ pub enum TraceEvent {
         /// Why the plan was held.
         reason: HoldReason,
     },
+    /// A masking lookup accepted a value on `votes ≥ b + 1` concurring
+    /// replies.
+    LookupVerified {
+        /// Operation id.
+        op: OpId,
+        /// Number of concurring votes the accepted value had.
+        votes: u32,
+    },
+    /// A masking lookup never reached the vote threshold and fell back
+    /// to the highest-voted value (a `Degraded` outcome).
+    LookupUnverified {
+        /// Operation id.
+        op: OpId,
+    },
 }
 
 /// Why an adaptive-controller tick kept the current plan instead of
@@ -146,6 +160,15 @@ impl ToJson for TraceEvent {
             TraceEvent::PlanHeld { reason } => JsonValue::object([
                 ("event", JsonValue::from("plan_held")),
                 ("reason", JsonValue::from(reason.as_str())),
+            ]),
+            TraceEvent::LookupVerified { op, votes } => JsonValue::object([
+                ("event", JsonValue::from("lookup_verified")),
+                ("op", JsonValue::from(op)),
+                ("votes", JsonValue::from(votes)),
+            ]),
+            TraceEvent::LookupUnverified { op } => JsonValue::object([
+                ("event", JsonValue::from("lookup_unverified")),
+                ("op", JsonValue::from(op)),
             ]),
         }
     }
@@ -258,6 +281,11 @@ impl ToJson for QuorumCounters {
                 "controller_holds_dwell",
                 JsonValue::from(self.controller_holds_dwell),
             ),
+            (
+                "byz_suspected_replies",
+                JsonValue::from(self.byz_suspected_replies),
+            ),
+            ("lookup_unverified", JsonValue::from(self.lookup_unverified)),
         ])
     }
 }
@@ -300,6 +328,8 @@ impl ToJson for RunMetrics {
             ("lookup_latency_us", self.lookup_latency.to_json()),
             ("load", self.load.to_json()),
             ("scheduler_clamped", JsonValue::from(self.scheduler_clamped)),
+            ("wrong_reads", JsonValue::from(self.wrong_reads)),
+            ("wrong_read_ratio", JsonValue::from(self.wrong_read_ratio())),
         ]);
         if !self.trace.is_empty() {
             obj.insert("trace", trace_to_json(&self.trace));

@@ -103,12 +103,22 @@ impl RegisterOp {
                 let Some(record) = stack.op(self.query_op) else {
                     return false;
                 };
-                let newest = record
-                    .values_seen
-                    .iter()
-                    .copied()
-                    .map(unpack)
-                    .max_by_key(|&(version, _)| version);
+                // Under masking reads only the vote-verified value is
+                // trusted: `values_seen` may contain fabricated entries
+                // whose forged "version" would otherwise poison the
+                // max-version scan. Trusting mode keeps the classic ABD
+                // rule over every gathered value.
+                let masking = stack.config().byz.mode == crate::service::ByzMode::Masking;
+                let newest = if masking {
+                    record.value.map(unpack)
+                } else {
+                    record
+                        .values_seen
+                        .iter()
+                        .copied()
+                        .map(unpack)
+                        .max_by_key(|&(version, _)| version)
+                };
                 match write_data {
                     Some(data) => {
                         let version = newest.map(|(v, _)| v).unwrap_or(0) + 1;

@@ -137,6 +137,10 @@ pub struct RunMetrics {
     /// Past-timestamp schedules clamped by the event scheduler — a
     /// causality-violation canary, zero in a healthy run.
     pub scheduler_clamped: u64,
+    /// Lookups whose accepted value differs from the key's ground truth
+    /// (the last value advertised for it) — Byzantine damage that got
+    /// through. Always 0 with honest nodes.
+    pub wrong_reads: usize,
     /// Retained trace events (empty unless
     /// `ServiceConfig::trace_capacity > 0`).
     pub trace: Vec<(SimTime, TraceEvent)>,
@@ -151,6 +155,12 @@ impl RunMetrics {
     /// Fraction of lookups whose quorums intersected.
     pub fn intersection_ratio(&self) -> f64 {
         ratio(self.intersections, self.lookups)
+    }
+
+    /// Fraction of lookups answered with a value that is not the key's
+    /// ground truth.
+    pub fn wrong_read_ratio(&self) -> f64 {
+        ratio(self.wrong_reads, self.lookups)
     }
 
     /// Application messages per advertise access.
@@ -288,7 +298,17 @@ pub fn run_scenario_hooked(
     }
     let horizon = cfg.workload.lookup_end().max(net.now()) + cfg.drain;
     advance(&mut net, &mut stack, &mut hook, horizon);
+    // Masking lookups still holding an unverified vote tally close with
+    // their highest-voted value (Degraded) before outcomes are read.
+    stack.finalize_pending_lookups(&mut net);
     let final_stats = snapshot(&net, &stack);
+
+    // Ground truth per key: the last value advertised for it. Wrong
+    // reads are completions whose accepted value differs.
+    let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for &(_, _, key, value) in &workload.advertisements {
+        truth.insert(key, value);
+    }
 
     // Outcomes.
     let mut metrics = RunMetrics {
@@ -308,6 +328,7 @@ pub fn run_scenario_hooked(
         lookup_latency: Histogram::new(),
         load: LoadSummary::from_loads(net.node_loads()),
         scheduler_clamped: net.scheduler_clamped(),
+        wrong_reads: 0,
         trace: stack.trace_events(),
     };
     let mut latency_sum = 0.0;
@@ -335,6 +356,9 @@ pub fn run_scenario_hooked(
                         metrics
                             .lookup_latency
                             .record((done - rec.started).as_micros());
+                    }
+                    if rec.value.is_some() && rec.value != truth.get(&rec.key).copied() {
+                        metrics.wrong_reads += 1;
                     }
                 }
                 if rec.intersected {
@@ -539,6 +563,7 @@ mod tests {
             lookup_latency: Histogram::new(),
             load: LoadSummary::default(),
             scheduler_clamped: 0,
+            wrong_reads: 0,
             trace: Vec::new(),
         };
         assert_eq!(m.hit_ratio(), 0.0);

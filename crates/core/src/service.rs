@@ -98,6 +98,52 @@ impl RetryPolicy {
     }
 }
 
+/// Whether lookup replies are vote-verified (Malkhi–Reiter–Wool
+/// masking) or trusted as in the paper's honest model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ByzMode {
+    /// The paper's model: every reply is honest, first reply wins.
+    Trusting,
+    /// Malkhi–Reiter–Wool masking: a lookup value is accepted only when
+    /// at least `b + 1` distinct responders concur on it.
+    Masking,
+}
+
+/// The Byzantine read policy: the assumed adversary budget `b` and
+/// whether reads are vote-verified against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByzPolicy {
+    /// Upper bound on the number of Byzantine nodes the reader must
+    /// mask. Ignored in [`ByzMode::Trusting`].
+    pub b: u32,
+    /// Whether reads are vote-verified.
+    pub mode: ByzMode,
+}
+
+impl ByzPolicy {
+    /// The paper's honest model (no vote verification, zero overhead).
+    pub fn trusting() -> Self {
+        ByzPolicy {
+            b: 0,
+            mode: ByzMode::Trusting,
+        }
+    }
+
+    /// Masking reads against up to `b` Byzantine nodes: accept a value
+    /// only on `b + 1` concurring votes.
+    pub fn masking(b: u32) -> Self {
+        ByzPolicy {
+            b,
+            mode: ByzMode::Masking,
+        }
+    }
+
+    /// The vote threshold a value must reach to be accepted.
+    pub fn threshold(&self) -> usize {
+        self.b as usize + 1
+    }
+}
+
 /// Configuration of the quorum-backed location service.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -128,6 +174,10 @@ pub struct ServiceConfig {
     /// Bursting |Qa| route discoveries at once melts the medium; pacing
     /// them keeps contention (and thus MAC losses) low.
     pub store_spacing: SimDuration,
+    /// Spacing between the routed probes of one *parallel* lookup
+    /// access. Zero (the paper default) keeps the single burst; masking
+    /// reads with inflated |Qℓ| set it to survive their own fan-out.
+    pub probe_spacing: SimDuration,
     /// Membership view size as a multiple of √n (paper: 2). Raise it when
     /// the advertise quorum exceeds 2√n (e.g. the Fig. 14(e) proactive
     /// 3√n experiment).
@@ -153,6 +203,9 @@ pub struct ServiceConfig {
     /// returns `None` and counts as unavailable — used by tests and by
     /// deployments that cannot afford sampling traffic).
     pub estimator_sample_factor: f64,
+    /// The Byzantine read policy (paper default: trusting — no vote
+    /// verification, no overhead).
+    pub byz: ByzPolicy,
 }
 
 impl ServiceConfig {
@@ -181,12 +234,14 @@ impl ServiceConfig {
             promiscuous_replies: false,
             probe_timeout: SimDuration::from_secs(3),
             store_spacing: SimDuration::from_millis(150),
+            probe_spacing: SimDuration::ZERO,
             membership_view_factor: 2.0,
             expanding_ring: false,
             expanding_ring_timeout: SimDuration::from_millis(500),
             retry: None,
             trace_capacity: 0,
             estimator_sample_factor: 2.0,
+            byz: ByzPolicy::trusting(),
         }
     }
 }
@@ -325,6 +380,13 @@ pub struct QuorumCounters {
     pub controller_holds_dead_band: u64,
     /// Controller ticks held by the minimum-dwell timer.
     pub controller_holds_dwell: u64,
+    /// Lookup replies whose value lost a masking vote (outvoted by the
+    /// accepted value, or left unverified at completion) — the reader's
+    /// view of suspected Byzantine replies.
+    pub byz_suspected_replies: u64,
+    /// Masking lookups that never reached `b + 1` concurring votes and
+    /// fell back to the highest-voted value (a `Degraded` outcome).
+    pub lookup_unverified: u64,
 }
 
 impl QuorumCounters {

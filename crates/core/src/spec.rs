@@ -254,6 +254,106 @@ pub fn satisfies_min_product(qa: u32, ql: u32, n: usize, epsilon: f64) -> bool {
     f64::from(qa) * f64::from(ql) >= min_quorum_product(n, epsilon) - 1e-9
 }
 
+/// The Poisson CDF `Pr(X ≤ b)` for `X ~ Poisson(lambda)`, evaluated
+/// stably in log space.
+fn poisson_cdf(b: u32, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    // Σ_{k=0}^{b} e^{−λ} λ^k / k!, accumulated term-by-term.
+    let mut term = (-lambda).exp();
+    let mut sum = term;
+    for k in 1..=b {
+        term *= lambda / f64::from(k);
+        sum += term;
+    }
+    sum.min(1.0)
+}
+
+/// The smallest Poisson rate `λ*` with `Pr(X ≤ b) ≤ ε` — the masking
+/// generalisation of `ln(1/ε)`: with `b = 0` this is exactly
+/// `Pr(X = 0) = e^{−λ} ≤ ε ⇒ λ* = ln(1/ε)`.
+///
+/// Solved by doubling to bracket, then bisection (the CDF is strictly
+/// decreasing in λ).
+pub fn poisson_tail_lambda(b: u32, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+    let mut hi = (1.0 / epsilon).ln().max(1.0);
+    while poisson_cdf(b, hi) > epsilon {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "poisson tail bracket diverged");
+    }
+    let mut lo = 0.0;
+    for _ in 0..128 {
+        let mid = 0.5 * (lo + hi);
+        if poisson_cdf(b, mid) > epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Masking-quorum inflation of the Corollary 5.3 product: the minimum
+/// `|Qa|·|Qℓ|` such that, with `b` Byzantine nodes among `n`, the number
+/// of *honest* advertise∩lookup members still exceeds `b` except with
+/// probability ≤ ε — i.e. a vote-verified read finds its `b + 1`
+/// concurring honest votes.
+///
+/// Model: each of the `|Qℓ|` probed nodes holds the key w.p. `|Qa|/n`
+/// and is honest w.p. `1 − b/n`, so the honest-vote count is ≈
+/// `Poisson(|Qa|·|Qℓ|·(1 − b/n)/n)` (the same Poissonisation as
+/// Theorem 5.2). Requiring `Pr(X ≤ b) ≤ ε` gives
+/// `|Qa|·|Qℓ| ≥ n·λ*(b, ε)/(1 − b/n)`; `b = 0` recovers `n·ln(1/ε)`
+/// exactly.
+///
+/// # Panics
+///
+/// Panics when `b ≥ n` (no honest intersection can exist).
+pub fn byz_min_quorum_product(n: usize, epsilon: f64, b: u32) -> f64 {
+    assert!(
+        (b as usize) < n,
+        "masking needs at least one honest node: b={b} n={n}"
+    );
+    let honest = 1.0 - b as f64 / n as f64;
+    n as f64 * poisson_tail_lambda(b, epsilon) / honest
+}
+
+/// The masking analogue of `1 − intersection_lower_bound`: an upper
+/// bound on the probability that a vote-verified read collects at most
+/// `b` honest concurring votes, `Pr(Poisson(qa·ql·(1 − b/n)/n) ≤ b)`.
+/// `b = 0` reduces to the Theorem 5.2 miss bound `e^{−qa·ql/n}`.
+pub fn byz_miss_upper_bound(qa: u32, ql: u32, n: usize, b: u32) -> f64 {
+    assert!((b as usize) < n, "masking needs at least one honest node");
+    let honest = 1.0 - b as f64 / n as f64;
+    let lambda = f64::from(qa) * f64::from(ql) * honest / n as f64;
+    poisson_cdf(b, lambda)
+}
+
+/// Whether integer sides `(qa, ql)` satisfy the masking product bound
+/// [`byz_min_quorum_product`] (with the same 1e-9 rounding tolerance as
+/// [`satisfies_min_product`]).
+pub fn byz_satisfies_min_product(qa: u32, ql: u32, n: usize, epsilon: f64, b: u32) -> bool {
+    f64::from(qa) * f64::from(ql) >= byz_min_quorum_product(n, epsilon, b) - 1e-9
+}
+
+/// Masking counterpart of [`min_partner_quorum_size`]: the smallest
+/// integer partner side restoring the [`byz_min_quorum_product`] bound.
+pub fn byz_min_partner_quorum_size(n: usize, epsilon: f64, b: u32, other_side: f64) -> u32 {
+    assert!(
+        other_side > 0.0 && other_side.is_finite(),
+        "partner quorum side must be positive"
+    );
+    let required = byz_min_quorum_product(n, epsilon, b);
+    let size = (required / other_side).ceil().max(1.0);
+    assert!(
+        other_side * size >= required - 1e-9,
+        "rounding failed to satisfy the masking product bound"
+    );
+    size as u32
+}
+
 /// The paper's empirical observation (§8.2/§8.3): a 0.9 hit ratio needs
 /// `|Qℓ| ≈ 1.15·√n` against a `2√n` advertise quorum. Returns that lookup
 /// size.
@@ -372,5 +472,68 @@ mod tests {
     fn display_formats() {
         let spec = QuorumSpec::new(AccessStrategy::UniquePath, 33);
         assert_eq!(spec.to_string(), "UNIQUE-PATH(33)");
+    }
+
+    #[test]
+    fn poisson_tail_with_no_adversaries_is_ln_one_over_eps() {
+        for &eps in &[0.2, 0.1, 0.01, 1e-4] {
+            let lambda = poisson_tail_lambda(0, eps);
+            let exact = (1.0_f64 / eps).ln();
+            assert!(
+                (lambda - exact).abs() < 1e-9,
+                "b=0 must reduce to ln(1/eps): {lambda} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_tail_lambda_solves_the_cdf_equation() {
+        for b in [1u32, 3, 7] {
+            for &eps in &[0.1, 0.01] {
+                let lambda = poisson_tail_lambda(b, eps);
+                assert!(poisson_cdf(b, lambda) <= eps + 1e-12);
+                // Just below λ* the tail bound must fail — λ* is minimal.
+                assert!(poisson_cdf(b, lambda * 0.999) > eps);
+            }
+        }
+    }
+
+    #[test]
+    fn byz_product_reduces_to_corollary_5_3_at_b_zero() {
+        for &n in &[50usize, 150, 800] {
+            let honest = min_quorum_product(n, 0.1);
+            let byz = byz_min_quorum_product(n, 0.1, 0);
+            assert!((honest - byz).abs() < 1e-6, "{honest} vs {byz}");
+        }
+    }
+
+    #[test]
+    fn byz_product_inflates_monotonically_in_b() {
+        let mut prev = byz_min_quorum_product(150, 0.1, 0);
+        for b in 1..=30u32 {
+            let next = byz_min_quorum_product(150, 0.1, b);
+            assert!(next > prev, "product must grow with b: b={b}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn byz_partner_sizing_satisfies_the_inflated_product() {
+        for b in [0u32, 5, 15] {
+            let ql = 30.0;
+            let qa = byz_min_partner_quorum_size(150, 0.1, b, ql);
+            let required = byz_min_quorum_product(150, 0.1, b);
+            assert!(f64::from(qa) * ql >= required - 1e-9);
+            // One fewer would violate the bound (unless floor is 1).
+            if qa > 1 {
+                assert!(f64::from(qa - 1) * ql < required);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one honest node")]
+    fn byz_product_rejects_all_byzantine_population() {
+        let _ = byz_min_quorum_product(10, 0.1, 10);
     }
 }

@@ -11,10 +11,12 @@ use crate::estimator;
 use crate::membership::Membership;
 use crate::messages::{AppMsg, FloodMsg, FloodReplyMsg, OpId, QuorumAction, ReplyMsg, WalkMsg};
 use crate::obs::{HoldReason, TraceEvent};
-use crate::service::{Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig};
+use crate::service::{
+    ByzMode, Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig,
+};
 use crate::spec::{AccessStrategy, BiquorumSpec};
 use crate::store::{Key, Role, Store, Value};
-use pqs_net::{MacDst, Network, NodeId, Stack, Upcall};
+use pqs_net::{fabricated_value, MacDst, Network, NodeBehavior, NodeId, Stack, Upcall};
 use pqs_routing::{RoutePacket, Router, RouterConfig, RouterEvent, TransitHandle};
 use pqs_sim::rng::{self, streams};
 use pqs_sim::{EventId, SimDuration, SimTime};
@@ -56,6 +58,12 @@ enum TimerCtx {
         origin: NodeId,
         key: Key,
         value: Value,
+        target: NodeId,
+    },
+    DeferredProbe {
+        op: OpId,
+        origin: NodeId,
+        key: Key,
         target: NodeId,
     },
     ExpandRing {
@@ -163,6 +171,10 @@ pub struct QuorumStack {
     flood_parent: Vec<HashMap<u64, NodeId>>,
     next_flood: u64,
     retry: HashMap<OpId, RetryState>,
+    /// Masking-mode vote tallies of still-open lookups: each distinct
+    /// value with the distinct responders that vouched for it, in
+    /// arrival order (deterministic tie-breaks). Empty in trusting mode.
+    byz_votes: HashMap<OpId, Vec<(Value, Vec<NodeId>)>>,
     /// Population at construction time (the `n` the quorums were sized
     /// for).
     initial_n: usize,
@@ -214,6 +226,7 @@ impl QuorumStack {
             flood_parent: vec![HashMap::new(); n],
             next_flood: 0,
             retry: HashMap::new(),
+            byz_votes: HashMap::new(),
             initial_n: n,
             original_failed: HashSet::new(),
             transit_tap: needs_tap,
@@ -417,13 +430,17 @@ impl QuorumStack {
         if !local.is_empty() {
             let rec = self.ops.get_mut(&op).expect("record exists while issuing");
             rec.intersected = true;
-            self.complete_lookup_values(net, op, local);
+            // The origin reads its own store honestly — behaviors apply
+            // at the reply boundary, and this is not a reply. Under
+            // masking this is one vote (from self), not a completion.
+            self.complete_lookup_from(net, op, node, local);
             let keeps_probing = self.cfg.lookup_fanout == Fanout::Parallel
                 && matches!(
                     self.cfg.spec.lookup.strategy,
                     AccessStrategy::Random | AccessStrategy::RandomOpt
                 );
-            if !keeps_probing {
+            let replied = self.ops.get(&op).is_none_or(|r| r.replied);
+            if replied && !keeps_probing {
                 return;
             }
         }
@@ -435,8 +452,26 @@ impl QuorumStack {
                     .pick_quorum(node, spec.size as usize, &mut self.rng);
                 match self.cfg.lookup_fanout {
                     Fanout::Parallel => {
-                        for target in targets {
-                            self.send_probe(net, node, op, key, target);
+                        // Paced like advertise stores: bursting a large
+                        // masking fan-out of route discoveries at once
+                        // saturates the medium (probe_spacing = 0, the
+                        // paper default, keeps the single burst).
+                        for (i, target) in targets.into_iter().enumerate() {
+                            if i == 0 || self.cfg.probe_spacing.is_zero() {
+                                self.send_probe(net, node, op, key, target);
+                            } else {
+                                let token = self.token();
+                                self.timer_ctx.insert(
+                                    token,
+                                    TimerCtx::DeferredProbe {
+                                        op,
+                                        origin: node,
+                                        key,
+                                        target,
+                                    },
+                                );
+                                net.set_timer(node, self.cfg.probe_spacing * i as u64, token);
+                            }
                         }
                     }
                     Fanout::Serial => {
@@ -672,6 +707,13 @@ impl QuorumStack {
     /// Closes a retried operation without success, with a distinct
     /// outcome (exhaustion vs deadline expiry — not a silent miss).
     fn finish_failed(&mut self, net: &mut QuorumNet, op: OpId, why: RetryFailure) {
+        // Masking degradation: a lookup that collected votes but never
+        // verified closes with its highest-voted value (a `Degraded`
+        // outcome) instead of being flagged a plain failure.
+        if self.degrade_unverified(net, op) {
+            self.retry.remove(&op);
+            return;
+        }
         self.retry.remove(&op);
         let now = net.now();
         let mut failed = None;
@@ -967,14 +1009,19 @@ impl QuorumStack {
                 }
             }
             QuorumAction::Lookup { key } => {
-                if let Some(value) = self.stores[at.index()].lookup(key) {
+                if self.stores[at.index()].lookup(key).is_some() {
                     if let Some(rec) = self.ops.get_mut(&msg.op) {
                         rec.intersected = true;
                     }
-                    if self.replies_started.insert(msg.op) {
+                }
+                if let Some(value) = self.byz_reply_value(net, at, msg.origin, key) {
+                    // Masking needs more than one concurring reply, so
+                    // it lifts the single-reply guard and never halts a
+                    // walk early (votes come from later path members).
+                    if self.masking() || self.replies_started.insert(msg.op) {
                         self.start_walk_reply(net, at, &msg, value);
                     }
-                    if self.cfg.early_halting {
+                    if self.cfg.early_halting && !self.masking() {
                         return;
                     }
                 }
@@ -1062,13 +1109,14 @@ impl QuorumStack {
         let path = msg.visited[..pos].to_vec();
         if path.is_empty() {
             // The hit happened at the originator itself.
-            self.complete_lookup(net, msg.op, value);
+            self.complete_lookup_from(net, msg.op, at, vec![value]);
             return;
         }
         let reply = ReplyMsg {
             op: msg.op,
             key,
             value,
+            from: at,
             path,
         };
         self.forward_reply(net, at, reply);
@@ -1112,7 +1160,7 @@ impl QuorumStack {
             reply.path.pop();
         }
         if reply.path.is_empty() {
-            self.complete_lookup(net, reply.op, reply.value);
+            self.complete_lookup_from(net, reply.op, reply.from, vec![reply.value]);
         } else {
             self.forward_reply(net, at, reply);
         }
@@ -1197,10 +1245,6 @@ impl QuorumStack {
         }
     }
 
-    fn complete_lookup(&mut self, net: &mut QuorumNet, op: OpId, value: Value) {
-        self.complete_lookup_values(net, op, vec![value]);
-    }
-
     fn complete_lookup_values(&mut self, net: &mut QuorumNet, op: OpId, values: Vec<Value>) {
         let now = net.now();
         let Some(first) = values.first().copied() else {
@@ -1236,6 +1280,181 @@ impl QuorumStack {
             if let Some(t) = state.timer {
                 net.cancel_timer(t);
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Byzantine behaviors and vote-verified (masking) reads
+    // ------------------------------------------------------------------
+
+    /// Whether reads are vote-verified (Malkhi–Reiter–Wool masking).
+    fn masking(&self) -> bool {
+        self.cfg.byz.mode == ByzMode::Masking
+    }
+
+    /// The behavior-adjusted multi-value reply `responder` sends back to
+    /// `requester` when the honest protocol would answer with `honest`.
+    /// `None` suppresses the reply entirely (fail-silent); `Some(vec![])`
+    /// is an honest miss.
+    fn byz_reply_values(
+        &self,
+        net: &QuorumNet,
+        responder: NodeId,
+        requester: NodeId,
+        key: Key,
+        honest: Vec<Value>,
+    ) -> Option<Vec<Value>> {
+        match net.node_behavior(responder) {
+            None => Some(honest),
+            Some(NodeBehavior::Silent) => None,
+            Some(NodeBehavior::Liar) => Some(vec![fabricated_value(responder, key, responder)]),
+            Some(NodeBehavior::Equivocator) => {
+                Some(vec![fabricated_value(responder, key, requester)])
+            }
+            // A real but outdated answer when one exists, an honest miss
+            // otherwise — never the newest value.
+            Some(NodeBehavior::Stale) => Some(
+                self.stores[responder.index()]
+                    .lookup_oldest(key)
+                    .map(|v| vec![v])
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+
+    /// Single-value variant of [`Self::byz_reply_values`] for the walk,
+    /// flood and promiscuous reply paths. `None` means no reply (silent
+    /// node or honest miss).
+    fn byz_reply_value(
+        &self,
+        net: &QuorumNet,
+        responder: NodeId,
+        requester: NodeId,
+        key: Key,
+    ) -> Option<Value> {
+        match net.node_behavior(responder) {
+            None => self.stores[responder.index()].lookup(key),
+            Some(NodeBehavior::Silent) => None,
+            Some(NodeBehavior::Liar) => Some(fabricated_value(responder, key, responder)),
+            Some(NodeBehavior::Equivocator) => Some(fabricated_value(responder, key, requester)),
+            Some(NodeBehavior::Stale) => self.stores[responder.index()].lookup_oldest(key),
+        }
+    }
+
+    /// Attributed lookup completion. Trusting mode is the paper's
+    /// first-reply-wins (byte-identical to the pre-Byzantine path);
+    /// masking mode tallies one vote per `(value, responder)` pair —
+    /// duplicated frames cannot double-count — and completes only once
+    /// some value reaches `b + 1` concurring votes.
+    fn complete_lookup_from(
+        &mut self,
+        net: &mut QuorumNet,
+        op: OpId,
+        responder: NodeId,
+        values: Vec<Value>,
+    ) {
+        if !self.masking() {
+            self.complete_lookup_values(net, op, values);
+            return;
+        }
+        if values.is_empty() {
+            return;
+        }
+        let now = net.now();
+        {
+            let Some(rec) = self.ops.get_mut(&op) else {
+                return;
+            };
+            // Late replies still widen the observed value set (matching
+            // the trusting path), but never reopen a completed op.
+            for &v in &values {
+                if !rec.values_seen.contains(&v) {
+                    rec.values_seen.push(v);
+                }
+            }
+            if rec.replied {
+                return;
+            }
+        }
+        let tally = self.byz_votes.entry(op).or_default();
+        for &v in &values {
+            match tally.iter_mut().find(|(val, _)| *val == v) {
+                Some((_, voters)) => {
+                    if !voters.contains(&responder) {
+                        voters.push(responder);
+                    }
+                }
+                None => tally.push((v, vec![responder])),
+            }
+        }
+        let threshold = self.cfg.byz.threshold();
+        let accepted = tally
+            .iter()
+            .find(|(_, voters)| voters.len() >= threshold)
+            .map(|(v, voters)| (*v, voters.len()));
+        if let Some((winner, votes)) = accepted {
+            let suspected: u64 = tally
+                .iter()
+                .filter(|(v, _)| *v != winner)
+                .map(|(_, voters)| voters.len() as u64)
+                .sum();
+            self.byz_votes.remove(&op);
+            self.counters.byz_suspected_replies += suspected;
+            self.trace_push(
+                now,
+                TraceEvent::LookupVerified {
+                    op,
+                    votes: votes as u32,
+                },
+            );
+            self.complete_lookup_values(net, op, vec![winner]);
+        }
+    }
+
+    /// Graceful degradation: close an unverified masking lookup with its
+    /// highest-voted value (first-arrived wins ties — deterministic)
+    /// instead of hanging or failing outright. Returns whether the op
+    /// was completed this way.
+    fn degrade_unverified(&mut self, net: &mut QuorumNet, op: OpId) -> bool {
+        let Some(tally) = self.byz_votes.remove(&op) else {
+            return false;
+        };
+        if tally.is_empty() || self.ops.get(&op).is_none_or(|r| r.replied) {
+            return false;
+        }
+        let now = net.now();
+        let mut best = &tally[0];
+        for cand in &tally[1..] {
+            if cand.1.len() > best.1.len() {
+                best = cand;
+            }
+        }
+        let winner = best.0;
+        let suspected: u64 = tally
+            .iter()
+            .filter(|(v, _)| *v != winner)
+            .map(|(_, voters)| voters.len() as u64)
+            .sum();
+        self.counters.lookup_unverified += 1;
+        self.counters.byz_suspected_replies += suspected;
+        self.mark_degraded(op);
+        self.trace_push(now, TraceEvent::LookupUnverified { op });
+        self.complete_lookup_values(net, op, vec![winner]);
+        true
+    }
+
+    /// Closes every masking lookup still holding an unverified vote
+    /// tally (called by the scenario runner after the final drain; ops
+    /// with no votes at all stay plain misses). A no-op in trusting
+    /// mode.
+    pub fn finalize_pending_lookups(&mut self, net: &mut QuorumNet) {
+        if !self.masking() {
+            return;
+        }
+        let mut pending: Vec<OpId> = self.byz_votes.keys().copied().collect();
+        pending.sort_unstable();
+        for op in pending {
+            self.degrade_unverified(net, op);
         }
     }
 
@@ -1324,10 +1543,12 @@ impl QuorumStack {
                 self.note_store_placed(net.now(), msg.op);
             }
             QuorumAction::Lookup { key } => {
-                if let Some(value) = self.stores[at.index()].lookup(key) {
+                if self.stores[at.index()].lookup(key).is_some() {
                     if let Some(rec) = self.ops.get_mut(&msg.op) {
                         rec.intersected = true;
                     }
+                }
+                if let Some(value) = self.byz_reply_value(net, at, msg.origin, key) {
                     // Every holder replies — flooding has no fine-grained
                     // control (§4.4's "numerous replies" drawback).
                     self.forward_flood_reply(
@@ -1337,6 +1558,7 @@ impl QuorumStack {
                             op: msg.op,
                             key,
                             value,
+                            from: at,
                             flood: msg.flood,
                             origin: msg.origin,
                         },
@@ -1365,7 +1587,7 @@ impl QuorumStack {
 
     fn forward_flood_reply(&mut self, net: &mut QuorumNet, at: NodeId, msg: FloodReplyMsg) {
         if at == msg.origin {
-            self.complete_lookup(net, msg.op, msg.value);
+            self.complete_lookup_from(net, msg.op, msg.from, vec![msg.value]);
             return;
         }
         let Some(&parent) = self.flood_parent[at.index()].get(&msg.flood) else {
@@ -1447,12 +1669,18 @@ impl QuorumStack {
                 self.note_store_placed(net.now(), *op);
             }
             AppMsg::LookupReq { op, key, origin } => {
-                let found = self.stores[at.index()].lookup_all(*key);
-                if !found.is_empty() {
+                let honest = self.stores[at.index()].lookup_all(*key);
+                if !honest.is_empty() {
                     if let Some(rec) = self.ops.get_mut(op) {
                         rec.intersected = true;
                     }
                 }
+                // Byzantine boundary: a silent node answers nothing (not
+                // even the serial miss notification), liars/equivocators
+                // fabricate, stale nodes serve their oldest copy.
+                let Some(found) = self.byz_reply_values(net, at, *origin, *key, honest) else {
+                    return;
+                };
                 // Hits always answer (with every held value); misses
                 // answer only under serial probing, which needs explicit
                 // miss notifications to advance.
@@ -1467,6 +1695,7 @@ impl QuorumStack {
                         AppMsg::LookupReply {
                             op: *op,
                             key: *key,
+                            from: at,
                             values: found,
                         },
                         token,
@@ -1475,11 +1704,13 @@ impl QuorumStack {
                     self.dispatch(net, events);
                 }
             }
-            AppMsg::LookupReply { op, values, .. } => {
+            AppMsg::LookupReply {
+                op, from, values, ..
+            } => {
                 if values.is_empty() {
                     self.serial_advance(net, *op);
                 } else {
-                    self.complete_lookup_values(net, *op, values.clone());
+                    self.complete_lookup_from(net, *op, *from, values.clone());
                 }
             }
             AppMsg::Walk(walk) => self.walk_arrive(net, at, walk.clone()),
@@ -1516,11 +1747,18 @@ impl QuorumStack {
             AppMsg::LookupReq { op, key, origin }
                 if self.cfg.spec.lookup.strategy == AccessStrategy::RandomOpt =>
             {
-                let found = self.stores[node.index()].lookup_all(*key);
-                if !found.is_empty() {
+                let honest = self.stores[node.index()].lookup_all(*key);
+                if !honest.is_empty() {
                     if let Some(rec) = self.ops.get_mut(op) {
                         rec.intersected = true;
                     }
+                }
+                // A silent relay still forwards the probe; it just never
+                // answers it. Liars answer (and consume) every probe.
+                let found = self
+                    .byz_reply_values(net, node, *origin, *key, honest)
+                    .unwrap_or_default();
+                if !found.is_empty() {
                     self.router.consume_transit(handle);
                     let token = self.token();
                     self.route_ctx
@@ -1532,6 +1770,7 @@ impl QuorumStack {
                         AppMsg::LookupReply {
                             op: *op,
                             key: *key,
+                            from: node,
                             values: found,
                         },
                         token,
@@ -1565,16 +1804,21 @@ impl QuorumStack {
         if self.cfg.promiscuous_replies {
             if let AppMsg::Walk(walk) = msg {
                 if let QuorumAction::Lookup { key } = walk.action {
-                    if let Some(value) = self.stores[node.index()].lookup(key) {
+                    if self.stores[node.index()].lookup(key).is_some() {
                         if let Some(rec) = self.ops.get_mut(&walk.op) {
                             rec.intersected = true;
                         }
-                        if self.replies_started.insert(walk.op) && !walk.visited.is_empty() {
+                    }
+                    if let Some(value) = self.byz_reply_value(net, node, walk.origin, key) {
+                        if (self.masking() || self.replies_started.insert(walk.op))
+                            && !walk.visited.is_empty()
+                        {
                             // Answer on the walk's reverse path (§7.2).
                             let reply = ReplyMsg {
                                 op: walk.op,
                                 key,
                                 value,
+                                from: node,
                                 path: walk.visited.clone(),
                             };
                             self.forward_reply(net, node, reply);
@@ -1689,6 +1933,18 @@ impl QuorumStack {
                 target,
             } => {
                 self.send_store(net, origin, op, key, value, target, 0);
+            }
+            TimerCtx::DeferredProbe {
+                op,
+                origin,
+                key,
+                target,
+            } => {
+                // Skip probes for lookups that already completed — a
+                // verified masking read cancels its remaining fan-out.
+                if self.ops.get(&op).is_some_and(|r| !r.replied) {
+                    self.send_probe(net, origin, op, key, target);
+                }
             }
             TimerCtx::ExpandRing {
                 op,

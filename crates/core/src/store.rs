@@ -84,6 +84,17 @@ impl Store {
             .copied()
     }
 
+    /// The *least*-recent value stored for `key` (owner entries
+    /// preferred) — what a [`Stale`](pqs_net::NodeBehavior::Stale)
+    /// responder serves: a real but outdated answer, never the newest.
+    pub fn lookup_oldest(&self, key: Key) -> Option<Value> {
+        self.owner
+            .get(&key)
+            .or_else(|| self.bystander.get(&key))
+            .and_then(|values| values.first())
+            .copied()
+    }
+
     /// Returns every value stored under `key` (owner entries first).
     pub fn lookup_all(&self, key: Key) -> Vec<Value> {
         let mut out: Vec<Value> = self.owner.get(&key).cloned().unwrap_or_default();

@@ -84,6 +84,61 @@ fn register_read_of_unwritten_key_is_bottom() {
 }
 
 #[test]
+fn register_versions_stay_monotone_under_delay_and_duplication() {
+    // Delayed and duplicated frames re-deliver old replies after newer
+    // writes landed: the register's read-repair must never move a key's
+    // version backwards, and repeated reads must see non-decreasing
+    // versions.
+    let (mut net, mut stack) = build(60, 47);
+    net.install_faults(
+        pqs_net::FaultPlan::new()
+            .delay_data_frames(0.4, SimDuration::from_millis(60))
+            .duplicate_data_frames(0.3),
+    );
+    let writer_a = net.alive_nodes()[2];
+    let writer_b = net.alive_nodes()[30];
+    let reader = net.alive_nodes()[50];
+    let key = 0x7171;
+
+    let mut last_version = 0u32;
+    for (round, writer) in [writer_a, writer_b, writer_a, writer_b]
+        .into_iter()
+        .enumerate()
+    {
+        let mut w = RegisterOp::write(&mut stack, &mut net, writer, key, 1000 + round as u32);
+        for _ in 0..6 {
+            run_for(&mut net, &mut stack, 20);
+            if w.pump(&mut stack, &mut net) {
+                break;
+            }
+        }
+        let (version, data) = w.result().expect("write must finish");
+        assert!(
+            version > last_version,
+            "write {round} regressed the version: {version} after {last_version}"
+        );
+        assert_eq!(data, 1000 + round as u32);
+        last_version = version;
+
+        let mut r = RegisterOp::read(&mut stack, &mut net, reader, key);
+        for _ in 0..6 {
+            run_for(&mut net, &mut stack, 20);
+            if r.pump(&mut stack, &mut net) {
+                break;
+            }
+        }
+        let (read_version, _) = r.result().expect("read of a written key");
+        assert!(
+            read_version >= last_version,
+            "round {round}: read version {read_version} behind write {last_version} \
+             (duplicated stale replies must not win)"
+        );
+        last_version = last_version.max(read_version);
+    }
+    assert_eq!(last_version, 4, "four writes, four versions");
+}
+
+#[test]
 fn pubsub_notifies_active_subscribers_only() {
     let (mut net, mut stack) = build(80, 43);
     let mut pubsub = PubSub::new();

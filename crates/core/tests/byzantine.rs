@@ -1,0 +1,143 @@
+//! Byzantine-tolerance end to end: trusting reads are poisoned by
+//! liars, masking (vote-verified) reads are not; silent nodes degrade
+//! like crashes; the whole pipeline stays deterministic per seed.
+
+use pqs_core::runner::{run_scenario, RunMetrics, ScenarioConfig};
+use pqs_core::service::{ByzPolicy, Fanout};
+use pqs_core::spec::{self, AccessStrategy, QuorumSpec};
+use pqs_core::workload::WorkloadConfig;
+use pqs_core::RetryPolicy;
+use pqs_net::{FaultPlan, NodeBehavior};
+use pqs_sim::SimDuration;
+
+const EPSILON: f64 = 0.1;
+
+/// A masking scenario: adversary fraction `frac` with behavior `mix`,
+/// both quorum sides inflated by the masking product bound, parallel
+/// RANDOM lookups, vote threshold `b + 1`.
+fn masking_scenario(n: usize, frac: f64, mix: &[NodeBehavior]) -> ScenarioConfig {
+    let b = (frac * n as f64).round() as u32;
+    let mut cfg = ScenarioConfig::paper(n);
+    cfg.workload = WorkloadConfig::small(8, 30);
+    if !mix.is_empty() {
+        cfg.faults = Some(FaultPlan::new().behavior_fraction(frac, mix));
+    }
+    let required = spec::byz_min_quorum_product(n, EPSILON, b);
+    let side = required.sqrt().ceil() as u32;
+    let qa = side.min(n as u32);
+    let ql = spec::byz_min_partner_quorum_size(n, EPSILON, b, f64::from(qa)).min(n as u32);
+    cfg.service.spec = pqs_core::spec::BiquorumSpec::new(
+        QuorumSpec::new(AccessStrategy::Random, qa),
+        QuorumSpec::new(AccessStrategy::Random, ql),
+    );
+    cfg.service.membership_view_factor =
+        (f64::from(qa.max(ql)) * 1.25 / (n as f64).sqrt()).max(2.0);
+    cfg.service.lookup_fanout = Fanout::Parallel;
+    cfg.service.probe_spacing = SimDuration::from_millis(30);
+    cfg.service.early_halting = false;
+    cfg.service.byz = ByzPolicy::masking(b);
+    cfg.service.retry = Some(RetryPolicy {
+        adapt_quorum: false,
+        attempt_timeout: SimDuration::from_secs(10),
+        ..RetryPolicy::default_policy()
+    });
+    cfg
+}
+
+fn trusting_scenario(n: usize, frac: f64, mix: &[NodeBehavior]) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(n);
+    cfg.workload = WorkloadConfig::small(8, 30);
+    if !mix.is_empty() {
+        cfg.faults = Some(FaultPlan::new().behavior_fraction(frac, mix));
+    }
+    cfg
+}
+
+fn totals(runs: &[RunMetrics]) -> (usize, usize, usize) {
+    let mut hits = 0;
+    let mut wrong = 0;
+    let mut lookups = 0;
+    for m in runs {
+        hits += m.hits;
+        wrong += m.wrong_reads;
+        lookups += m.lookups;
+    }
+    (hits, wrong, lookups)
+}
+
+#[test]
+fn trusting_reads_are_poisoned_by_liars() {
+    let runs: Vec<RunMetrics> = (1..=4)
+        .map(|seed| run_scenario(&trusting_scenario(100, 0.2, &[NodeBehavior::Liar]), seed))
+        .collect();
+    let (_, wrong, lookups) = totals(&runs);
+    assert!(lookups > 0);
+    assert!(
+        wrong > 0,
+        "first-reply-wins with 20% liars must land wrong reads"
+    );
+    // Sanity: no vote verification ran.
+    for m in &runs {
+        assert_eq!(m.counters.byz_suspected_replies, 0);
+        assert_eq!(m.counters.lookup_unverified, 0);
+    }
+}
+
+#[test]
+fn masking_reads_are_never_wrong_under_ten_percent_liars() {
+    let runs: Vec<RunMetrics> = (1..=4)
+        .map(|seed| run_scenario(&masking_scenario(100, 0.1, &[NodeBehavior::Liar]), seed))
+        .collect();
+    let (hits, wrong, lookups) = totals(&runs);
+    assert_eq!(wrong, 0, "vote-verified reads must not accept fabrications");
+    assert!(
+        hits as f64 >= (1.0 - EPSILON) * lookups as f64,
+        "masked hit ratio {hits}/{lookups} below 1 - eps"
+    );
+    // The liars were heard and outvoted, not absent.
+    let suspected: u64 = runs.iter().map(|m| m.counters.byz_suspected_replies).sum();
+    assert!(suspected > 0, "fabricated replies must be counted");
+}
+
+#[test]
+fn masking_handles_the_mixed_adversary() {
+    let mix = [
+        NodeBehavior::Silent,
+        NodeBehavior::Liar,
+        NodeBehavior::Stale,
+        NodeBehavior::Equivocator,
+    ];
+    let runs: Vec<RunMetrics> = (1..=4)
+        .map(|seed| run_scenario(&masking_scenario(100, 0.1, &mix), seed))
+        .collect();
+    let (hits, wrong, lookups) = totals(&runs);
+    assert_eq!(wrong, 0, "no adversary mix may poison a verified read");
+    assert!(hits as f64 >= (1.0 - EPSILON) * lookups as f64);
+}
+
+#[test]
+fn silent_nodes_degrade_like_crashes_not_poison() {
+    // Silent nodes cost availability (like §6.1 crash churn), never
+    // integrity: the trusting protocol with silent nodes must show zero
+    // wrong reads and a hit ratio comparable to the crash model.
+    let runs: Vec<RunMetrics> = (1..=4)
+        .map(|seed| run_scenario(&trusting_scenario(100, 0.2, &[NodeBehavior::Silent]), seed))
+        .collect();
+    let (hits, wrong, lookups) = totals(&runs);
+    assert_eq!(wrong, 0, "silence cannot fabricate");
+    assert!(
+        hits * 10 >= lookups * 6,
+        "silent degradation collapsed availability: {hits}/{lookups}"
+    );
+}
+
+#[test]
+fn byzantine_runs_are_deterministic_per_seed() {
+    let cfg = masking_scenario(80, 0.1, &[NodeBehavior::Liar, NodeBehavior::Equivocator]);
+    let a = run_scenario(&cfg, 7);
+    let b = run_scenario(&cfg, 7);
+    assert_eq!(a.hits, b.hits);
+    assert_eq!(a.wrong_reads, b.wrong_reads);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.net_stats, b.net_stats);
+}

@@ -199,3 +199,73 @@ fn advertise_retry_tops_up_the_shortfall() {
     );
     assert_eq!(rec.kind, OpKind::Advertise);
 }
+
+#[test]
+fn retry_carries_an_op_through_a_partition_window() {
+    // A key advertised from the far left, then looked up from the thin
+    // right sliver of an x = 0.92 partition: no copy landed right of the
+    // cut, so the lookup stalls until the heal. The backoff ladder must
+    // carry it across and complete it well inside the deadline, with
+    // the substrate's unicast conservation intact throughout.
+    let (mut net, mut stack) = build(
+        50,
+        13,
+        Some(RetryPolicy {
+            max_attempts: 12,
+            attempt_timeout: SimDuration::from_secs(4),
+            base_backoff: SimDuration::from_millis(500),
+            max_backoff: SimDuration::from_secs(4),
+            op_deadline: SimDuration::from_secs(120),
+            adapt_quorum: false,
+            epsilon: 0.1,
+        }),
+    );
+    let split = SimTime::from_secs(25);
+    let heal = SimTime::from_secs(50);
+    net.install_faults(FaultPlan::new().partition_vertical(0.92, split, heal));
+    net.run(&mut stack, SimTime::from_secs(1));
+    // Advertise before the split from the leftmost node — with this
+    // seed every copy lands left of the future cut.
+    let nodes = net.alive_nodes();
+    let leftmost = *nodes
+        .iter()
+        .min_by(|a, b| net.position(**a).x.total_cmp(&net.position(**b).x))
+        .expect("nodes exist");
+    let rightmost = *nodes
+        .iter()
+        .max_by(|a, b| net.position(**a).x.total_cmp(&net.position(**b).x))
+        .expect("nodes exist");
+    stack.advertise(&mut net, leftmost, 77, 7700);
+    net.run(&mut stack, split + SimDuration::from_secs(1));
+    // Look up mid-partition from the right sliver.
+    let op = stack.lookup(&mut net, rightmost, 77);
+    net.run(&mut stack, heal - SimDuration::from_secs(2));
+    let mid = stack.op(op).expect("op recorded");
+    assert!(
+        !mid.replied,
+        "partition did not bite: the sliver lookup found the value while split"
+    );
+    assert!(!mid.retries_exhausted && !mid.deadline_expired);
+    // Run past the heal up to the deadline horizon.
+    net.run(&mut stack, SimTime::from_secs(140));
+    let rec = stack.op(op).expect("op recorded");
+    assert!(rec.replied, "lookup must complete after the heal");
+    assert_eq!(rec.value, Some(7700), "healed lookup returns the value");
+    assert!(
+        !rec.deadline_expired,
+        "heal happened well inside the deadline"
+    );
+    assert!(rec.attempts > 1, "completion required the retry ladder");
+    let completed = rec.completed.expect("a replied lookup closes");
+    assert!(completed > heal, "completion cannot precede the heal");
+    assert!(stack.counters().op_retries > 0);
+    assert_eq!(stack.counters().deadlines_expired, 0);
+    // Conservation: every unicast data transmission is accounted for.
+    let s = *net.stats();
+    assert!(s.fault_dropped > 0, "the partition must drop receptions");
+    assert_eq!(
+        s.unicast_data_tx,
+        s.unicast_delivered + s.unicast_dup_discarded + s.unicast_fault_dropped + s.unicast_lost,
+        "unicast conservation violated across the partition window"
+    );
+}

@@ -118,6 +118,52 @@ pub enum NodeFaultEvent {
         /// When the region goes down.
         at: SimTime,
     },
+    /// Recover every dead node whose last position is inside a disc at
+    /// `at` — the healing counterpart of [`NodeFaultEvent::RegionCrash`].
+    RegionRecover {
+        /// Disc centre.
+        center: Point,
+        /// Disc radius in metres.
+        radius_m: f64,
+        /// When the region heals.
+        at: SimTime,
+    },
+}
+
+/// A Byzantine per-node behavior, applied at the *reply-generation*
+/// boundary in `pqs-core` — the PHY/MAC below stay byte-identical, so a
+/// behavior plan never perturbs frame-level randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeBehavior {
+    /// Receives and forwards, but never answers a lookup (fail-silent).
+    Silent,
+    /// Always answers with a fabricated value — the same lie to every
+    /// requester.
+    Liar,
+    /// Answers with its oldest stored value, never the newest.
+    Stale,
+    /// Answers with a different fabricated value per requester.
+    Equivocator,
+}
+
+/// How Byzantine behaviors are assigned to nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BehaviorRule {
+    /// Pin one node to a behavior (overrides earlier rules).
+    Node {
+        /// The misbehaving node.
+        node: NodeId,
+        /// Its behavior.
+        behavior: NodeBehavior,
+    },
+    /// Mark `round(fraction·n)` distinct nodes, sampled from the
+    /// dedicated BYZ RNG stream, cycling through `behaviors`.
+    Fraction {
+        /// Fraction of the population to corrupt, in `[0, 1]`.
+        fraction: f64,
+        /// The behavior mix assigned round-robin over the sample.
+        behaviors: Vec<NodeBehavior>,
+    },
 }
 
 /// A network partition: during the window, frames crossing the vertical
@@ -153,6 +199,7 @@ pub struct FaultPlan {
     frame_rules: Vec<FrameFaultRule>,
     node_events: Vec<NodeFaultEvent>,
     partitions: Vec<PartitionWindow>,
+    behavior_rules: Vec<BehaviorRule>,
 }
 
 impl FaultPlan {
@@ -248,6 +295,44 @@ impl FaultPlan {
         self
     }
 
+    /// Recovers every dead node whose last position is inside the disc
+    /// at `at` — the healing counterpart of [`FaultPlan::crash_region`].
+    pub fn recover_region(mut self, center: Point, radius_m: f64, at: SimTime) -> Self {
+        self.node_events.push(NodeFaultEvent::RegionRecover {
+            center,
+            radius_m,
+            at,
+        });
+        self
+    }
+
+    /// Pins `node` to a Byzantine behavior (overrides earlier rules).
+    pub fn behavior_at(mut self, node: NodeId, behavior: NodeBehavior) -> Self {
+        self.behavior_rules
+            .push(BehaviorRule::Node { node, behavior });
+        self
+    }
+
+    /// Corrupts `round(fraction·n)` distinct nodes (sampled from the
+    /// dedicated BYZ RNG stream at install time), cycling through
+    /// `behaviors`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction ∉ [0, 1]` or the mix is empty.
+    pub fn behavior_fraction(mut self, fraction: f64, behaviors: &[NodeBehavior]) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "behavior fraction must be in [0, 1]"
+        );
+        assert!(!behaviors.is_empty(), "behavior mix must be non-empty");
+        self.behavior_rules.push(BehaviorRule::Fraction {
+            fraction,
+            behaviors: behaviors.to_vec(),
+        });
+        self
+    }
+
     /// Splits the area along `x = x_fraction · side` during the window.
     pub fn partition_vertical(mut self, x_fraction: f64, from: SimTime, until: SimTime) -> Self {
         self.partitions.push(PartitionWindow {
@@ -271,6 +356,11 @@ impl FaultPlan {
     /// The partition windows.
     pub fn partitions(&self) -> &[PartitionWindow] {
         &self.partitions
+    }
+
+    /// The Byzantine behavior-assignment rules.
+    pub fn behavior_rules(&self) -> &[BehaviorRule] {
+        &self.behavior_rules
     }
 
     /// `true` if the plan can never affect a frame (no rules and no
@@ -302,21 +392,39 @@ pub enum FrameFate {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: StdRng,
+    /// Per-node Byzantine behavior, resolved once at install time from
+    /// the dedicated BYZ stream (never the FAULTS stream, so behavior
+    /// plans leave every frame-fate decision byte-identical).
+    behaviors: Vec<Option<NodeBehavior>>,
 }
 
 impl FaultInjector {
     /// Builds an injector for `plan`, seeded from the simulation's
-    /// master seed.
-    pub fn new(plan: FaultPlan, master_seed: u64) -> Self {
+    /// master seed. `node_count` bounds the population the behavior
+    /// rules are resolved over; a plan without behavior rules draws
+    /// nothing from the BYZ stream.
+    pub fn new(plan: FaultPlan, master_seed: u64, node_count: usize) -> Self {
+        let behaviors = resolve_behaviors(&plan.behavior_rules, master_seed, node_count);
         FaultInjector {
             plan,
             rng: rng::stream(master_seed, streams::FAULTS),
+            behaviors,
         }
     }
 
     /// The plan being executed.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// The Byzantine behavior assigned to `node`, if any.
+    pub fn behavior_of(&self, node: NodeId) -> Option<NodeBehavior> {
+        self.behaviors.get(node.0 as usize).copied().flatten()
+    }
+
+    /// How many nodes carry any Byzantine behavior.
+    pub fn byzantine_count(&self) -> usize {
+        self.behaviors.iter().filter(|b| b.is_some()).count()
     }
 
     /// Decides the fate of one successfully decoded frame reception.
@@ -368,13 +476,65 @@ fn sample_delay(rng: &mut StdRng, max: SimDuration) -> SimDuration {
     SimDuration::from_micros(rng.gen_range(0..max_us) + 1)
 }
 
+/// Resolves the behavior rules into a per-node assignment. Fraction
+/// rules sample distinct victims by a partial Fisher–Yates over the
+/// population using the BYZ stream; explicit `Node` pins override in
+/// rule order. An empty rule list touches no RNG at all.
+fn resolve_behaviors(
+    rules: &[BehaviorRule],
+    master_seed: u64,
+    node_count: usize,
+) -> Vec<Option<NodeBehavior>> {
+    let mut out = vec![None; node_count];
+    if rules.is_empty() || node_count == 0 {
+        return out;
+    }
+    let mut byz = rng::stream(master_seed, streams::BYZ);
+    for rule in rules {
+        match rule {
+            BehaviorRule::Fraction {
+                fraction,
+                behaviors,
+            } => {
+                let k = ((fraction * node_count as f64).round() as usize).min(node_count);
+                let mut idx: Vec<usize> = (0..node_count).collect();
+                for pick in 0..k {
+                    let j = byz.gen_range(pick..node_count);
+                    idx.swap(pick, j);
+                    out[idx[pick]] = Some(behaviors[pick % behaviors.len()]);
+                }
+            }
+            BehaviorRule::Node { node, behavior } => {
+                if let Some(slot) = out.get_mut(node.0 as usize) {
+                    *slot = Some(*behavior);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A deterministic fabricated value for a Byzantine reply: mixes the
+/// responder, the looked-up key and a salt — the responder itself for a
+/// consistent lie ([`NodeBehavior::Liar`]), the requester for
+/// per-requester lies ([`NodeBehavior::Equivocator`]) — and sets the
+/// top bit so a fabrication can never collide with an honest value.
+pub fn fabricated_value(responder: NodeId, key: u64, salt: NodeId) -> u64 {
+    let mixed = rng::splitmix64(
+        rng::splitmix64(u64::from(responder.0))
+            ^ rng::splitmix64(key)
+            ^ rng::splitmix64(u64::from(salt.0).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    mixed | (1 << 63)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn empty_plan_is_transparent_and_drawless() {
-        let mut inj = FaultInjector::new(FaultPlan::new(), 1);
+        let mut inj = FaultInjector::new(FaultPlan::new(), 1, 8);
         let p = Point::new(0.0, 0.0);
         for _ in 0..8 {
             assert_eq!(
@@ -383,7 +543,7 @@ mod tests {
             );
         }
         // The RNG was never touched: a fresh injector's stream matches.
-        let fresh = FaultInjector::new(FaultPlan::new(), 1);
+        let fresh = FaultInjector::new(FaultPlan::new(), 1, 8);
         assert_eq!(
             format!("{:?}", inj.rng),
             format!("{:?}", fresh.rng),
@@ -394,7 +554,7 @@ mod tests {
     #[test]
     fn full_drop_rule_drops_everything() {
         let plan = FaultPlan::new().drop_frames(1.0);
-        let mut inj = FaultInjector::new(plan, 2);
+        let mut inj = FaultInjector::new(plan, 2, 8);
         let p = Point::new(1.0, 1.0);
         assert_eq!(
             inj.frame_fate(SimTime::ZERO, 1000.0, NodeId(0), p, NodeId(1), p, true),
@@ -407,7 +567,7 @@ mod tests {
         let from = SimTime::from_secs(10);
         let until = SimTime::from_secs(20);
         let plan = FaultPlan::new().drop_frames_between(1.0, from, until);
-        let mut inj = FaultInjector::new(plan, 3);
+        let mut inj = FaultInjector::new(plan, 3, 8);
         let p = Point::new(0.0, 0.0);
         let fate = |inj: &mut FaultInjector, t| {
             inj.frame_fate(t, 1000.0, NodeId(0), p, NodeId(1), p, false)
@@ -421,7 +581,7 @@ mod tests {
     #[test]
     fn partition_severs_only_crossing_links() {
         let plan = FaultPlan::new().partition_vertical(0.5, SimTime::ZERO, SimTime::from_secs(100));
-        let mut inj = FaultInjector::new(plan, 4);
+        let mut inj = FaultInjector::new(plan, 4, 8);
         let west = Point::new(100.0, 0.0);
         let east = Point::new(900.0, 0.0);
         assert_eq!(
@@ -475,7 +635,7 @@ mod tests {
             duplicate_prob: 0.0,
         };
         let plan = FaultPlan::new().with_rule(rule);
-        let mut inj = FaultInjector::new(plan, 5);
+        let mut inj = FaultInjector::new(plan, 5, 8);
         let p = Point::new(0.0, 0.0);
         assert_eq!(
             inj.frame_fate(SimTime::ZERO, 1000.0, NodeId(7), p, NodeId(1), p, true),
@@ -497,7 +657,7 @@ mod tests {
             .drop_frames(0.3)
             .delay_data_frames(0.2, SimDuration::from_millis(5));
         let run = |seed| {
-            let mut inj = FaultInjector::new(plan.clone(), seed);
+            let mut inj = FaultInjector::new(plan.clone(), seed, 8);
             let p = Point::new(0.0, 0.0);
             (0..256)
                 .map(|i| {
@@ -515,5 +675,87 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn behavior_fraction_is_seeded_and_counted() {
+        let plan = FaultPlan::new().behavior_fraction(
+            0.25,
+            &[
+                NodeBehavior::Liar,
+                NodeBehavior::Silent,
+                NodeBehavior::Stale,
+            ],
+        );
+        let assign = |seed| {
+            let inj = FaultInjector::new(plan.clone(), seed, 40);
+            (0..40)
+                .map(|i| inj.behavior_of(NodeId(i)))
+                .collect::<Vec<_>>()
+        };
+        let a = assign(9);
+        assert_eq!(a, assign(9), "same seed, same assignment");
+        assert_ne!(a, assign(10), "different seed, different victims");
+        assert_eq!(
+            a.iter().filter(|b| b.is_some()).count(),
+            10,
+            "round(0.25·40)"
+        );
+        // The mix cycles: all three behaviors appear in a 10-node sample.
+        for b in [
+            NodeBehavior::Liar,
+            NodeBehavior::Silent,
+            NodeBehavior::Stale,
+        ] {
+            assert!(a.contains(&Some(b)), "{b:?} missing from the mix");
+        }
+    }
+
+    #[test]
+    fn behavior_pin_overrides_fraction() {
+        let plan = FaultPlan::new()
+            .behavior_fraction(1.0, &[NodeBehavior::Silent])
+            .behavior_at(NodeId(3), NodeBehavior::Equivocator);
+        let inj = FaultInjector::new(plan, 1, 8);
+        assert_eq!(inj.behavior_of(NodeId(3)), Some(NodeBehavior::Equivocator));
+        assert_eq!(inj.behavior_of(NodeId(0)), Some(NodeBehavior::Silent));
+        assert_eq!(inj.byzantine_count(), 8);
+        // Out-of-range probes are benign.
+        assert_eq!(inj.behavior_of(NodeId(99)), None);
+    }
+
+    #[test]
+    fn behavior_rules_do_not_touch_the_frame_stream() {
+        // A behavior-only plan must leave frame fates byte-identical to
+        // no plan at all: behaviors resolve from the BYZ stream, frame
+        // fates from FAULTS.
+        let plan = FaultPlan::new().behavior_fraction(0.5, &[NodeBehavior::Liar]);
+        let mut inj = FaultInjector::new(plan, 1, 8);
+        let p = Point::new(0.0, 0.0);
+        for _ in 0..8 {
+            assert_eq!(
+                inj.frame_fate(SimTime::ZERO, 1000.0, NodeId(0), p, NodeId(1), p, true),
+                FrameFate::Deliver
+            );
+        }
+        let fresh = FaultInjector::new(FaultPlan::new(), 1, 8);
+        assert_eq!(
+            format!("{:?}", inj.rng),
+            format!("{:?}", fresh.rng),
+            "behavior resolution must not consume frame-fate randomness"
+        );
+    }
+
+    #[test]
+    fn fabricated_values_are_marked_and_distinct() {
+        let a = fabricated_value(NodeId(1), 42, NodeId(1));
+        let b = fabricated_value(NodeId(2), 42, NodeId(2));
+        let c = fabricated_value(NodeId(1), 43, NodeId(1));
+        let d = fabricated_value(NodeId(1), 42, NodeId(9));
+        assert!(a >> 63 == 1 && b >> 63 == 1, "top bit marks fabrications");
+        assert_ne!(a, b, "per-responder lies differ");
+        assert_ne!(a, c, "per-key lies differ");
+        assert_ne!(a, d, "per-requester (equivocated) lies differ");
+        assert_eq!(a, fabricated_value(NodeId(1), 42, NodeId(1)));
     }
 }

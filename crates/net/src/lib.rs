@@ -60,7 +60,10 @@ pub mod phy;
 mod stats;
 
 pub use config::{MacConfig, NetConfig, PathLoss, PhyConfig, ReceptionModel};
-pub use faults::{FaultInjector, FaultPlan, FaultScope, FrameFaultRule, NodeFaultEvent};
+pub use faults::{
+    fabricated_value, BehaviorRule, FaultInjector, FaultPlan, FaultScope, FrameFaultRule,
+    NodeBehavior, NodeFaultEvent,
+};
 pub use mac::MacDst;
 pub use mobility::MobilityModel;
 pub use network::{Network, Stack, Upcall};

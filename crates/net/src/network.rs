@@ -3,7 +3,7 @@
 //! (routing, quorum protocols) implement.
 
 use crate::config::NetConfig;
-use crate::faults::{FaultInjector, FaultPlan, FrameFate, NodeFaultEvent};
+use crate::faults::{FaultInjector, FaultPlan, FrameFate, NodeBehavior, NodeFaultEvent};
 use crate::geometry::{Point, SpatialGrid};
 use crate::mac::{Frame, FrameKind, MacDst, MacPhase, MacState};
 use crate::mobility::{self, MobilityModel, Motion};
@@ -44,6 +44,8 @@ enum Event {
     DelayedFrame { key: u64 },
     /// Fault injection: crash every alive node inside a disc.
     RegionFail { x: f64, y: f64, radius_m: f64 },
+    /// Fault injection: recover every dead node inside a disc.
+    RegionRecover { x: f64, y: f64, radius_m: f64 },
 }
 
 /// Notifications delivered from the substrate to the upper layer.
@@ -425,14 +427,41 @@ impl<P: Clone> Network<P> {
                         },
                     );
                 }
+                NodeFaultEvent::RegionRecover {
+                    center,
+                    radius_m,
+                    at,
+                } => {
+                    self.scheduler.schedule_at(
+                        at,
+                        Event::RegionRecover {
+                            x: center.x,
+                            y: center.y,
+                            radius_m,
+                        },
+                    );
+                }
             }
         }
-        self.faults = Some(FaultInjector::new(plan, self.config.seed));
+        let node_count = self.nodes.len();
+        self.faults = Some(FaultInjector::new(plan, self.config.seed, node_count));
     }
 
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().map(|inj| inj.plan())
+    }
+
+    /// The Byzantine behavior assigned to `node` by the installed fault
+    /// plan, if any. The upper layer consults this at its
+    /// reply-generation boundary; the substrate itself never acts on it.
+    pub fn node_behavior(&self, node: NodeId) -> Option<NodeBehavior> {
+        self.faults.as_ref().and_then(|inj| inj.behavior_of(node))
+    }
+
+    /// How many nodes the installed fault plan marks Byzantine.
+    pub fn byzantine_count(&self) -> usize {
+        self.faults.as_ref().map_or(0, |inj| inj.byzantine_count())
     }
 
     /// Unicast data transmissions whose airtime has not yet elapsed.
@@ -660,6 +689,9 @@ impl<P: Clone> Network<P> {
             Event::Join { node } => self.on_join(node),
             Event::DelayedFrame { key } => self.on_delayed_frame(key),
             Event::RegionFail { x, y, radius_m } => self.on_region_fail(Point::new(x, y), radius_m),
+            Event::RegionRecover { x, y, radius_m } => {
+                self.on_region_recover(Point::new(x, y), radius_m)
+            }
         }
     }
 
@@ -925,6 +957,22 @@ impl<P: Clone> Network<P> {
         let mut upcalls = Vec::new();
         for victim in victims {
             upcalls.extend(self.on_fail(victim));
+        }
+        upcalls
+    }
+
+    fn on_region_recover(&mut self, center: Point, radius_m: f64) -> Vec<Upcall<P>> {
+        let now = self.scheduler.now();
+        let healed: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| {
+                !self.nodes[i].alive
+                    && self.nodes[i].motion.position(now).distance(center) <= radius_m
+            })
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let mut upcalls = Vec::new();
+        for node in healed {
+            upcalls.extend(self.on_join(node));
         }
         upcalls
     }

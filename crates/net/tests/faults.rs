@@ -297,6 +297,56 @@ fn timed_crashes_and_region_crashes_fire() {
 }
 
 #[test]
+fn region_crash_then_heal_restores_the_population() {
+    // A region crash followed by a region recovery over the same disc
+    // must bring every victim back — the healing counterpart of
+    // `crash_region`, driven end to end through the event queue.
+    let mut net: Network<String> = Network::new(static_config(60, 29));
+    let nodes = net.alive_nodes();
+    let epicentre = net.position(nodes[7]);
+    let n0 = nodes.len();
+    net.install_faults(
+        FaultPlan::new()
+            .crash_region(
+                Point::new(epicentre.x, epicentre.y),
+                200.0,
+                SimTime::from_secs(3),
+            )
+            .recover_region(
+                Point::new(epicentre.x, epicentre.y),
+                200.0,
+                SimTime::from_secs(12),
+            ),
+    );
+    let mut stack = Counter::default();
+    net.run(&mut stack, SimTime::from_secs(6));
+    let during = net.alive_nodes().len();
+    assert!(during < n0, "region crash killed nobody: {during} of {n0}");
+    net.run(&mut stack, SimTime::from_secs(20));
+    assert_eq!(
+        net.alive_nodes().len(),
+        n0,
+        "region recovery must resurrect every victim (static nodes stay in the disc)"
+    );
+    assert_eq!(
+        stack.failed.len(),
+        stack.joined.len(),
+        "every failure upcall pairs with a join upcall"
+    );
+    // Healed nodes are functional: a neighbour unicast still delivers.
+    let healed = stack.joined[0];
+    if let Some(&nb) = net.neighbors(healed).first() {
+        net.send(healed, MacDst::Unicast(nb), "alive".into(), 9);
+        net.run(&mut stack, SimTime::from_secs(25));
+        assert!(
+            stack.results.contains(&(healed, 9, true)),
+            "healed node cannot transmit: {:?}",
+            stack.results
+        );
+    }
+}
+
+#[test]
 fn delays_defer_but_still_deliver_and_duplicates_are_extra() {
     // Delay every data frame: the unicast still arrives (late), exactly
     // once at the MAC accounting level.

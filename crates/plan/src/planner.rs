@@ -48,6 +48,11 @@ pub struct PlannerConfig {
     /// Expected churn rate (fraction of the population per second); `0`
     /// means no refresh period can be derived.
     pub churn_per_sec: f64,
+    /// Assumed number of Byzantine nodes `b` the plan must mask. `0`
+    /// (the paper's model) keeps the crash-only Corollary 5.3 sizing;
+    /// `b > 0` inflates the quorum product so the *honest* intersection
+    /// exceeds `b` concurring votes except with probability ε.
+    pub byz_b: u32,
 }
 
 impl PlannerConfig {
@@ -65,6 +70,7 @@ impl PlannerConfig {
             lookup_strategy: AccessStrategy::UniquePath,
             churn_regime: ChurnRegime::FailuresAndJoins,
             churn_per_sec: 0.0,
+            byz_b: 0,
         }
     }
 }
@@ -145,9 +151,18 @@ impl Planner {
         assert!(n > 0, "cannot plan for an empty population");
         assert!(tau > 0.0 && tau.is_finite(), "tau must be positive");
         let eps = self.cfg.epsilon;
+        let b = self.cfg.byz_b;
+        assert!(
+            (b as usize) < n,
+            "cannot mask b={b} Byzantine nodes out of n={n}"
+        );
         let cap = n as u32;
         // Lemma 5.6 continuous optimum, rounded to the nearest integer
-        // and clamped to [1, n].
+        // and clamped to [1, n]. With b > 0 the required product inflates
+        // from n·ln(1/ε) to the masking bound; the cost-optimal split
+        // keeps the same |Qℓ|/|Qa| ratio, so |Qℓ|* scales by
+        // √(P_byz/P_honest). The `b == 0` arm is kept literal so
+        // pre-existing plans are bit-identical.
         let ql_star = analysis::optimal_lookup_size(
             n,
             eps,
@@ -155,14 +170,26 @@ impl Planner {
             self.cfg.cost_advertise,
             self.cfg.cost_lookup,
         );
+        let ql_star = if b == 0 {
+            ql_star
+        } else {
+            ql_star
+                * (spec::byz_min_quorum_product(n, eps, b) / spec::min_quorum_product(n, eps))
+                    .sqrt()
+        };
+        let partner = |other: f64| -> u32 {
+            if b == 0 {
+                spec::min_partner_quorum_size(n, eps, other)
+            } else {
+                spec::byz_min_partner_quorum_size(n, eps, b, other)
+            }
+        };
         let ql = (ql_star.round() as u32).clamp(1, cap);
         // Corollary 5.3 partner size (checked rounding), capped at n;
         // when the cap binds, re-grow the lookup side toward the bound.
-        let qa = spec::min_partner_quorum_size(n, eps, f64::from(ql)).min(cap);
+        let qa = partner(f64::from(ql)).min(cap);
         let ql = if qa == cap {
-            spec::min_partner_quorum_size(n, eps, f64::from(qa))
-                .min(cap)
-                .max(ql)
+            partner(f64::from(qa)).min(cap).max(ql)
         } else {
             ql
         };
@@ -170,15 +197,27 @@ impl Planner {
             QuorumSpec::new(self.cfg.advertise_strategy, qa),
             QuorumSpec::new(self.cfg.lookup_strategy, ql),
         );
-        // The Corollary 5.3 gate: an undersized plan must never escape.
-        // Fully capped sides (|Qa| = |Qℓ| = n) overlap deterministically,
-        // which is stronger than any product bound.
-        let overlap_certain = qa as usize + ql as usize > n;
+        // The Corollary 5.3 gate (masking-inflated when b > 0): an
+        // undersized plan must never escape. Fully capped sides overlap
+        // deterministically in at least qa + ql − n members, of which at
+        // most b are Byzantine — certain masking needs qa + ql > n + 2b.
+        let satisfies = if b == 0 {
+            spec::satisfies_min_product(qa, ql, n, eps)
+        } else {
+            spec::byz_satisfies_min_product(qa, ql, n, eps, b)
+        };
+        let overlap_certain = qa as usize + ql as usize > n + 2 * b as usize;
         assert!(
-            spec::satisfies_min_product(qa, ql, n, eps) || overlap_certain,
-            "planner produced an undersized plan: qa={qa} ql={ql} n={n} eps={eps}"
+            satisfies || overlap_certain,
+            "planner produced an undersized plan: qa={qa} ql={ql} n={n} eps={eps} b={b}"
         );
-        let miss_bound = 1.0 - spec::intersection_lower_bound(qa, ql, n);
+        let miss_bound = if b == 0 {
+            1.0 - spec::intersection_lower_bound(qa, ql, n)
+        } else if overlap_certain {
+            0.0
+        } else {
+            spec::byz_miss_upper_bound(qa, ql, n, b)
+        };
         debug_assert!(miss_bound <= eps + 1e-9);
         // §6.1 refresh budget: how much churn until the *actual* miss
         // bound (below ε thanks to rounding) degrades up to ε.
@@ -273,5 +312,64 @@ mod tests {
     #[should_panic(expected = "empty population")]
     fn rejects_empty_population() {
         let _ = Planner::new(PlannerConfig::paper_default()).plan(0, 10.0);
+    }
+
+    #[test]
+    fn masking_inflates_the_quorum_product() {
+        use pqs_core::spec;
+        let honest = Planner::new(PlannerConfig::paper_default()).plan(800, 10.0);
+        let mut prev = honest.spec.advertise.size as u64 * honest.spec.lookup.size as u64;
+        for b in [8u32, 40, 80] {
+            let cfg = PlannerConfig {
+                byz_b: b,
+                ..PlannerConfig::paper_default()
+            };
+            let plan = Planner::new(cfg).plan(800, 10.0);
+            let qa = plan.spec.advertise.size;
+            let ql = plan.spec.lookup.size;
+            let product = qa as u64 * ql as u64;
+            assert!(product > prev, "b={b} must inflate past {prev}");
+            assert!(spec::byz_satisfies_min_product(qa, ql, 800, 0.1, b));
+            assert!(plan.miss_bound <= 0.1 + 1e-9);
+            prev = product;
+        }
+    }
+
+    #[test]
+    fn byz_zero_plans_are_identical_to_honest_plans() {
+        let honest = Planner::new(PlannerConfig::paper_default());
+        let zero = Planner::new(PlannerConfig {
+            byz_b: 0,
+            ..PlannerConfig::paper_default()
+        });
+        for n in [10usize, 150, 800] {
+            assert_eq!(honest.plan(n, 10.0), zero.plan(n, 10.0));
+        }
+    }
+
+    #[test]
+    fn masking_plans_survive_tiny_populations() {
+        let cfg = PlannerConfig {
+            byz_b: 1,
+            ..PlannerConfig::paper_default()
+        };
+        let planner = Planner::new(cfg);
+        for n in 4..20 {
+            let plan = planner.plan(n, 10.0);
+            let qa = plan.spec.advertise.size as usize;
+            let ql = plan.spec.lookup.size as usize;
+            assert!(qa <= n && ql <= n, "n={n}");
+            assert!(plan.miss_probability() <= 0.1 + 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mask")]
+    fn rejects_fully_byzantine_population() {
+        let cfg = PlannerConfig {
+            byz_b: 10,
+            ..PlannerConfig::paper_default()
+        };
+        let _ = Planner::new(cfg).plan(10, 10.0);
     }
 }

@@ -47,6 +47,9 @@ pub mod streams {
     pub const MEMBERSHIP: u64 = 7;
     /// Fault injection (frame drops/delays/duplicates, crash schedules).
     pub const FAULTS: u64 = 8;
+    /// Byzantine behavior-fault assignment (which nodes lie, stay
+    /// silent, serve stale values, or equivocate).
+    pub const BYZ: u64 = 9;
 }
 
 /// SplitMix64: a fast, well-distributed 64-bit mixer (Steele et al.,

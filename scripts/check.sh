@@ -48,6 +48,17 @@ PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
 diff "$seq_dir/fig_adaptive.json" "$par_dir/fig_adaptive.json" \
     || { echo "fig_adaptive.json differs between PQS_JOBS=1 and 2"; exit 1; }
 
+echo "==> byzantine: pqs-core byzantine suite"
+cargo test -q -p pqs-core --test byzantine
+
+echo "==> byzantine: fig_byzantine smoke, diff vs sequential"
+PQS_BENCH_DIR="$seq_dir" PQS_JOBS=1 PQS_SEEDS=1 \
+    cargo run --release -q -p pqs-bench --bin fig_byzantine >/dev/null
+PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 \
+    cargo run --release -q -p pqs-bench --bin fig_byzantine >/dev/null
+diff "$seq_dir/fig_byzantine.json" "$par_dir/fig_byzantine.json" \
+    || { echo "fig_byzantine.json differs between PQS_JOBS=1 and 2"; exit 1; }
+
 echo "==> perf sidecars: pool_width >= 1 and PQS_JOBS provenance recorded"
 for sidecar in bench_results/*.perf.json; do
     [[ -e "$sidecar" ]] || continue
