@@ -10,22 +10,53 @@
 //! Missing, unreadable or truncated export files are reported and
 //! skipped — one bad file never aborts the whole summary.
 //!
-//! Usage: `bench_summary [results_dir] [output_path]`
-//! (defaults: `bench_results/`, `BENCH_SUMMARY.json`).
+//! The summary doubles as a perf-regression gate: before overwriting the
+//! output, the previously committed summary (or `--baseline <path>`) is
+//! read and each sidecar's `wall_ms` is compared against the same bench
+//! in the baseline. A bench that got more than 20% slower — by at least
+//! [`REGRESSION_FLOOR_MS`], so timer jitter on sub-second benches never
+//! trips it — fails the run with exit code 1 after the summary is
+//! written. Set `PQS_PERF_BASELINE=ignore` to report regressions without
+//! failing (fresh-machine runs, intentional slowdowns).
+//!
+//! Usage: `bench_summary [results_dir] [output_path] [--baseline <path>]`
+//! (defaults: `bench_results/`, `BENCH_SUMMARY.json`; baseline defaults
+//! to the previous contents of the output path).
 
 use pqs_sim::json::JsonValue;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
-fn main() -> std::io::Result<()> {
+/// A bench must slow down by at least this much wall-clock, in addition
+/// to the 20% ratio, before the gate trips.
+const REGRESSION_FLOOR_MS: u64 = 200;
+
+fn main() -> ExitCode {
+    let mut positional = Vec::new();
+    let mut baseline_override: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
-    let dir = args
+    while let Some(arg) = args.next() {
+        if arg == "--baseline" {
+            match args.next() {
+                Some(path) => baseline_override = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--baseline requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            positional.push(PathBuf::from(arg));
+        }
+    }
+    let mut positional = positional.into_iter();
+    let dir = positional.next().unwrap_or_else(pqs_bench::report::out_dir);
+    let out = positional
         .next()
-        .map(PathBuf::from)
-        .unwrap_or_else(pqs_bench::report::out_dir);
-    let out = args
-        .next()
-        .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_SUMMARY.json"));
+    let baseline_path = baseline_override.unwrap_or_else(|| out.clone());
+    // Read the baseline before the new summary clobbers it.
+    let baseline = baseline_wall_ms(&baseline_path);
 
     let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
         Ok(entries) => entries
@@ -80,7 +111,7 @@ fn main() -> std::io::Result<()> {
             "perf",
             JsonValue::object([
                 ("total_wall_ms", JsonValue::from(total_wall_ms)),
-                ("sweeps", JsonValue::array(perf_entries)),
+                ("sweeps", JsonValue::array(perf_entries.clone())),
             ]),
         );
     }
@@ -90,13 +121,89 @@ fn main() -> std::io::Result<()> {
             JsonValue::array(skipped.into_iter().map(JsonValue::from)),
         );
     }
-    std::fs::write(&out, summary.render())?;
+    if let Err(e) = std::fs::write(&out, summary.render()) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
     println!(
         "wrote {} ({count} reports, {skipped_count} skipped) from {}",
         out.display(),
         dir.display()
     );
-    Ok(())
+
+    let regressions = find_regressions(&baseline, &perf_entries);
+    if regressions.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    for line in &regressions {
+        eprintln!("perf regression: {line}");
+    }
+    if std::env::var("PQS_PERF_BASELINE").as_deref() == Ok("ignore") {
+        eprintln!("PQS_PERF_BASELINE=ignore set; not failing on perf regressions");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} bench(es) regressed >20% vs {} (set PQS_PERF_BASELINE=ignore to bypass)",
+            regressions.len(),
+            baseline_path.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Per-bench wall-clock from a previously written summary's
+/// `perf.sweeps` section. Missing or malformed baselines gate nothing.
+fn baseline_wall_ms(path: &Path) -> HashMap<String, u64> {
+    let mut map = HashMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return map;
+    };
+    let Ok(doc) = JsonValue::parse(&text) else {
+        eprintln!(
+            "warning: baseline {} is not valid JSON; skipping perf gate",
+            path.display()
+        );
+        return map;
+    };
+    let sweeps = doc
+        .get("perf")
+        .and_then(|p| p.get("sweeps"))
+        .and_then(|s| s.as_array());
+    for entry in sweeps.into_iter().flatten() {
+        let (Some(name), Some(wall)) = (
+            entry.get("name").and_then(|v| v.as_str()),
+            entry.get("wall_ms").and_then(|v| v.as_u64()),
+        ) else {
+            continue;
+        };
+        map.insert(name.to_string(), wall);
+    }
+    map
+}
+
+/// Compares fresh sidecars against the baseline: a regression is >20%
+/// slower AND at least [`REGRESSION_FLOOR_MS`] in absolute terms.
+fn find_regressions(baseline: &HashMap<String, u64>, fresh: &[JsonValue]) -> Vec<String> {
+    let mut out = Vec::new();
+    for entry in fresh {
+        let (Some(name), Some(wall)) = (
+            entry.get("name").and_then(|v| v.as_str()),
+            entry.get("wall_ms").and_then(|v| v.as_u64()),
+        ) else {
+            continue;
+        };
+        let Some(&base) = baseline.get(name) else {
+            continue;
+        };
+        if wall > base + REGRESSION_FLOOR_MS && wall as f64 > base as f64 * 1.2 {
+            out.push(format!(
+                "{name}: {wall} ms vs baseline {base} ms ({:+.0}%)",
+                (wall as f64 / base as f64 - 1.0) * 100.0
+            ));
+        }
+    }
+    out.sort();
+    out
 }
 
 fn file_name(path: &Path) -> String {

@@ -9,7 +9,7 @@
 
 use pqs_bench::{bench_workload, f, header, row, seeds, sweep};
 use pqs_core::analysis::{intersection_after_churn, ChurnRegime};
-use pqs_core::runner::{run_scenario, ScenarioConfig};
+use pqs_core::runner::{run_scenario, ScenarioConfig, SweepCell};
 use pqs_core::workload::WorkloadConfig;
 use pqs_core::RetryPolicy;
 use pqs_net::{FaultPlan, NodeBehavior, NodeId};
@@ -44,33 +44,33 @@ fn degradation(seed_list: &[u64]) {
         &["f", "closed form", "crash", "silent", "delta"],
     );
     // The fault plan depends on the seed, so each (frac, mode, seed)
-    // cell is its own scenario — one pool job per cell. The silent arm
-    // replaces the crash schedule with reply-suppressing behavior
-    // faults: the hosts keep routing, but their stored copies never
-    // answer — the Byzantine flavour of the same §6.1 thinning.
+    // cell is its own scenario. The silent arm replaces the crash
+    // schedule with reply-suppressing behavior faults: the hosts keep
+    // routing, but their stored copies never answer — the Byzantine
+    // flavour of the same §6.1 thinning. Every plan here acts after the
+    // advertise window, so all cells of one seed fork one shared
+    // advertise-phase template.
     let fracs = [0.0, 0.1, 0.2, 0.3];
-    let jobs: Vec<_> = fracs
+    let cells: Vec<SweepCell> = fracs
         .iter()
         .flat_map(|&frac| {
             [false, true].into_iter().flat_map(move |silent| {
                 seed_list.iter().map(move |&seed| {
-                    move || {
-                        let mut cfg = ScenarioConfig::paper(n);
-                        cfg.workload = bench_workload(20, 60, n);
-                        if frac > 0.0 {
-                            cfg.faults = Some(if silent {
-                                FaultPlan::new().behavior_fraction(frac, &[NodeBehavior::Silent])
-                            } else {
-                                crash_plan(n, frac, seed, &cfg)
-                            });
-                        }
-                        run_scenario(&cfg, seed)
+                    let mut cfg = ScenarioConfig::paper(n);
+                    cfg.workload = bench_workload(20, 60, n);
+                    if frac > 0.0 {
+                        cfg.faults = Some(if silent {
+                            FaultPlan::new().behavior_fraction(frac, &[NodeBehavior::Silent])
+                        } else {
+                            crash_plan(n, frac, seed, &cfg)
+                        });
                     }
+                    (cfg, seed)
                 })
             })
         })
         .collect();
-    let results = sweep::run_jobs(jobs);
+    let results = sweep::run_cells(cells);
     for (chunk, &frac) in results.chunks(2 * seed_list.len()).zip(&fracs) {
         let predicted = intersection_after_churn(
             eps0,
@@ -120,28 +120,28 @@ fn retry_recovery(seed_list: &[u64]) {
             "exhausted",
         ],
     );
-    // One pool job per (drop, seed, policy) triple: the plain and the
-    // retrying run of a cell are independent simulations.
+    // One cell per (drop, seed, policy) triple: the plain and the
+    // retrying run of a cell are independent simulations. (Frame drops
+    // act from t = 0, so these cells share no warmed prefix — they run
+    // classic inside the same pool pass.)
     let drops = [0.10, 0.20, 0.30];
-    let jobs: Vec<_> = drops
+    let cells: Vec<SweepCell> = drops
         .iter()
         .flat_map(|&drop| {
             seed_list.iter().flat_map(move |&seed| {
                 [None, Some(RetryPolicy::default_policy())]
                     .into_iter()
                     .map(move |retry| {
-                        move || {
-                            let mut cfg = ScenarioConfig::paper(n);
-                            cfg.workload = WorkloadConfig::small(8, 30);
-                            cfg.faults = Some(FaultPlan::new().drop_frames(drop));
-                            cfg.service.retry = retry;
-                            run_scenario(&cfg, seed)
-                        }
+                        let mut cfg = ScenarioConfig::paper(n);
+                        cfg.workload = WorkloadConfig::small(8, 30);
+                        cfg.faults = Some(FaultPlan::new().drop_frames(drop));
+                        cfg.service.retry = retry;
+                        (cfg, seed)
                     })
             })
         })
         .collect();
-    let results = sweep::run_jobs(jobs);
+    let results = sweep::run_cells(cells);
     for (chunk, &drop) in results.chunks(2 * seed_list.len()).zip(&drops) {
         let (mut plain_hits, mut retry_hits, mut lookups) = (0usize, 0usize, 0usize);
         let (mut retries, mut exhausted) = (0u64, 0u64);

@@ -182,7 +182,7 @@ pub mod sweep {
     //! between runs) which `bench_summary` folds into
     //! `BENCH_SUMMARY.json`.
 
-    use pqs_core::runner::{aggregate, run_scenario, Aggregate, RunMetrics, ScenarioConfig};
+    use pqs_core::runner::{aggregate, Aggregate, RunMetrics, ScenarioConfig, SweepCell};
     use std::time::Instant;
 
     /// The pool width sweeps run at (`PQS_JOBS`, default: available
@@ -200,6 +200,7 @@ pub mod sweep {
         T: Send,
         F: FnOnce() -> T + Send,
     {
+        super::report::touch_start();
         let width = width();
         let count = jobs.len();
         let start = Instant::now();
@@ -208,19 +209,32 @@ pub mod sweep {
         out
     }
 
+    /// Runs explicit `(scenario, seed)` cells through the snapshot-
+    /// sharing prefix tree ([`pqs_core::runner::run_cells`]) on the
+    /// bounded pool, returns the metrics in cell order, and records the
+    /// sweep in the report collector. Results are byte-identical to
+    /// running each cell alone, at any pool width, and with
+    /// `PQS_SNAPSHOT=0`.
+    pub fn run_cells(cells: Vec<SweepCell>) -> Vec<RunMetrics> {
+        super::report::touch_start();
+        let width = width();
+        let count = cells.len();
+        let start = Instant::now();
+        let out = pqs_core::runner::run_cells(&cells, width);
+        super::report::on_sweep(count, width, start.elapsed());
+        out
+    }
+
     /// Runs every `(scenario × seed)` cell on the bounded pool and
     /// returns the per-seed metrics grouped per scenario, in input
-    /// order.
+    /// order. Cells sharing a warmed topology or advertise-phase prefix
+    /// execute as forks of one template simulation.
     pub fn runs(cfgs: &[ScenarioConfig], seeds: &[u64]) -> Vec<Vec<RunMetrics>> {
-        let jobs: Vec<_> = cfgs
+        let cells: Vec<SweepCell> = cfgs
             .iter()
-            .flat_map(|cfg| {
-                seeds
-                    .iter()
-                    .map(move |&seed| move || run_scenario(cfg, seed))
-            })
+            .flat_map(|cfg| seeds.iter().map(|&seed| (cfg.clone(), seed)))
             .collect();
-        let flat = run_jobs(jobs);
+        let flat = run_cells(cells);
         let mut it = flat.into_iter();
         cfgs.iter()
             .map(|_| {
@@ -249,15 +263,17 @@ pub mod report {
     //! attached with [`add_value`]. All content is insertion-ordered, so
     //! a deterministic bench renders a byte-identical export.
     //!
-    //! Sweeps run through [`sweep`](super::sweep) additionally record
-    //! wall-clock, job count and pool width; [`finish`] writes those to
-    //! a separate `<name>.perf.json` sidecar so the main export stays
-    //! byte-identical across pool widths and hosts.
+    //! Every bench also gets a `<name>.perf.json` sidecar: total bench
+    //! wall-clock plus — when sweeps ran — job count, pool width and
+    //! sweep-only wall-clock. The sidecar is separate so the main export
+    //! stays byte-identical across pool widths and hosts; `bench_summary`
+    //! folds the sidecars into `BENCH_SUMMARY.json` and gates wall-clock
+    //! regressions against the committed baseline.
 
     use pqs_sim::json::JsonValue;
     use std::path::PathBuf;
-    use std::sync::Mutex;
-    use std::time::Duration;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::{Duration, Instant};
 
     struct Section {
         title: String,
@@ -290,7 +306,24 @@ pub mod report {
         },
     });
 
+    /// When the bench first touched the report collector — the start of
+    /// the measured wall-clock window. Armed idempotently by every
+    /// collector entry point, so benches need no explicit start call.
+    static STARTED: OnceLock<Instant> = OnceLock::new();
+
+    pub(crate) fn touch_start() {
+        let _ = STARTED.get_or_init(Instant::now);
+    }
+
+    fn bench_age() -> Duration {
+        STARTED
+            .get()
+            .map(Instant::elapsed)
+            .unwrap_or(Duration::ZERO)
+    }
+
     pub(crate) fn on_header(title: &str, columns: &[&str]) {
+        touch_start();
         let mut state = STATE.lock().expect("report lock");
         state.sections.push(Section {
             title: title.to_string(),
@@ -300,6 +333,7 @@ pub mod report {
     }
 
     pub(crate) fn on_row(cells: &[String]) {
+        touch_start();
         let mut state = STATE.lock().expect("report lock");
         if state.sections.is_empty() {
             state.sections.push(Section {
@@ -313,6 +347,7 @@ pub mod report {
     }
 
     pub(crate) fn on_sweep(jobs: usize, pool_width: usize, wall: Duration) {
+        touch_start();
         let mut state = STATE.lock().expect("report lock");
         state.perf.sweeps += 1;
         state.perf.jobs += jobs;
@@ -323,6 +358,7 @@ pub mod report {
     /// Attaches a structured value (aggregate, histogram, …) to the
     /// report under `key`. Repeated keys are kept in call order.
     pub fn add_value(key: &str, value: JsonValue) {
+        touch_start();
         let mut state = STATE.lock().expect("report lock");
         state.values.push((key.to_string(), value));
     }
@@ -362,18 +398,21 @@ pub mod report {
         out
     }
 
-    /// The sweep-performance sidecar captured so far (`None` if no sweep
-    /// ran): pool width, job count and cumulative wall-clock. This is
-    /// the only place wall-clock appears — it never enters the
-    /// deterministic main export.
-    pub fn perf_to_json(name: &str) -> Option<JsonValue> {
+    /// The performance sidecar: total bench wall-clock plus — when
+    /// sweeps ran — pool width, job count and sweep-only wall-clock.
+    /// Emitted for every bench (uniformly, so the regression gate skips
+    /// none); this is the only place wall-clock appears — it never
+    /// enters the deterministic main export.
+    pub fn perf_to_json(name: &str) -> JsonValue {
         let state = STATE.lock().expect("report lock");
-        if state.perf.sweeps == 0 {
-            return None;
-        }
-        Some(JsonValue::object([
+        let pool_width = if state.perf.sweeps > 0 {
+            state.perf.pool_width
+        } else {
+            pqs_sim::pool::configured_width()
+        };
+        JsonValue::object([
             ("name", JsonValue::from(name)),
-            ("pool_width", JsonValue::from(state.perf.pool_width)),
+            ("pool_width", JsonValue::from(pool_width)),
             ("sweeps", JsonValue::from(state.perf.sweeps)),
             ("jobs", JsonValue::from(state.perf.jobs)),
             (
@@ -381,10 +420,19 @@ pub mod report {
                 JsonValue::from(pqs_sim::pool::width_source()),
             ),
             (
-                "wall_ms",
+                "snapshots",
+                JsonValue::from(if pqs_core::runner::snapshots_enabled() {
+                    "on"
+                } else {
+                    "off"
+                }),
+            ),
+            ("wall_ms", JsonValue::from(bench_age().as_millis() as u64)),
+            (
+                "sweep_wall_ms",
                 JsonValue::from(state.perf.wall.as_millis() as u64),
             ),
-        ]))
+        ])
     }
 
     /// Directory the JSON exports are written to (`PQS_BENCH_DIR`,
@@ -395,17 +443,18 @@ pub mod report {
             .unwrap_or_else(|_| PathBuf::from("bench_results"))
     }
 
-    /// Writes the captured report to `bench_results/<name>.json` (and,
-    /// when sweeps ran, the wall-clock sidecar to `<name>.perf.json`)
-    /// and returns the main path. Call as the binary's last statement.
+    /// Writes the captured report to `bench_results/<name>.json` and the
+    /// wall-clock sidecar to `<name>.perf.json`, returning the main
+    /// path. Call as the binary's last statement.
     pub fn finish(name: &str) -> std::io::Result<PathBuf> {
         let dir = out_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.json"));
         std::fs::write(&path, to_json(name).render())?;
-        if let Some(perf) = perf_to_json(name) {
-            std::fs::write(dir.join(format!("{name}.perf.json")), perf.render())?;
-        }
+        std::fs::write(
+            dir.join(format!("{name}.perf.json")),
+            perf_to_json(name).render(),
+        )?;
         Ok(path)
     }
 }

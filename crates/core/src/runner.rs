@@ -2,17 +2,22 @@
 //! paper's two-phase workload (advertise, then look up), applies churn
 //! between the phases (§8.7), and collects the metrics the paper reports.
 
+use crate::messages::AppMsg;
 use crate::obs::{LoadSummary, TraceEvent};
-use crate::service::{OpKind, QuorumCounters, ServiceConfig};
+use crate::service::{Fanout, OpKind, QuorumCounters, ServiceConfig};
+use crate::spec::{AccessStrategy, QuorumSpec};
 use crate::stack::{QuorumNet, QuorumStack};
 use crate::workload::{Workload, WorkloadConfig};
-use pqs_net::{FaultPlan, NetConfig, NetStats, Network};
+use pqs_net::{FaultPlan, NetConfig, NetStats, Network, NodeFaultEvent, NodeId, Stack, Upcall};
+use pqs_routing::RoutePacket;
 use pqs_sim::control::TickSchedule;
 use pqs_sim::metrics::Histogram;
 use pqs_sim::rng::{self, streams};
 use pqs_sim::{SimDuration, SimTime};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Churn applied between the advertise and lookup phases, mirroring the
 /// §8.7 experiment ("after all advertisements finished, we fail every
@@ -239,6 +244,13 @@ fn advance(
 }
 
 /// Runs one scenario with one seed.
+///
+/// Eligible scenarios route through the phased pipeline (build, stack-
+/// free warmup, advertise phase, measure) that [`run_cells`] shares
+/// across sweep cells; the rest run through the classic single-pass
+/// runner. The split is invisible in the results — it exists so a
+/// standalone run is byte-identical to the same cell inside a
+/// snapshot-sharing sweep.
 pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
     run_scenario_hooked(cfg, seed, None)
 }
@@ -246,16 +258,31 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunMetrics {
 /// [`run_scenario`] with an optional runtime controller that fires on a
 /// deterministic sim-time schedule throughout both phases (including the
 /// churn settle window and the final drain).
+///
+/// Hooked runs always use the classic runner: the controller may observe
+/// any instant of the run, so no prefix of it is shareable.
 pub fn run_scenario_hooked(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    hook: Option<ControllerHook<'_>>,
+) -> RunMetrics {
+    if hook.is_some() || !snapshots_enabled() || fault_install_point(cfg) == FaultInstall::Build {
+        return run_scenario_classic(cfg, seed, hook);
+    }
+    run_phased(cfg, seed, None, None).unwrap_or_else(|| run_scenario_classic(cfg, seed, None))
+}
+
+/// The classic single-pass runner: faults installed at build time, the
+/// whole run driven front to back with the real stack attached from
+/// `t = 0`. Used for hooked runs, for fault plans whose first activity
+/// precedes the workload start, and as the deterministic fallback when a
+/// warmup turns out not to be stack-free.
+fn run_scenario_classic(
     cfg: &ScenarioConfig,
     seed: u64,
     mut hook: Option<ControllerHook<'_>>,
 ) -> RunMetrics {
-    let mut net_cfg = cfg.net.clone();
-    net_cfg.seed = seed;
-    net_cfg.promiscuous =
-        cfg.service.promiscuous_replies || cfg.service.caching || net_cfg.promiscuous;
-    let mut net: QuorumNet = Network::new(net_cfg);
+    let mut net: QuorumNet = Network::new(derived_net_config(cfg, seed));
     if let Some(plan) = &cfg.faults {
         net.install_faults(plan.clone());
     }
@@ -270,42 +297,66 @@ pub fn run_scenario_hooked(
         advance(&mut net, &mut stack, &mut hook, at);
         stack.advertise(&mut net, who, key, value);
     }
-    let advertise_end = cfg.workload.lookup_start();
-    advance(&mut net, &mut stack, &mut hook, advertise_end);
+    advance(&mut net, &mut stack, &mut hook, cfg.workload.lookup_start());
 
-    // Optional churn between the phases.
+    churn_and_settle(cfg, seed, n0, &mut net, &mut stack, &mut hook);
+    lookup_tail(cfg, seed, &mut net, &mut stack, &workload, &mut hook, n0)
+}
+
+/// Applies the optional between-phase churn and lets joins integrate
+/// (heartbeats) before lookups begin.
+fn churn_and_settle(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    n0: usize,
+    net: &mut QuorumNet,
+    stack: &mut QuorumStack,
+    hook: &mut Option<ControllerHook<'_>>,
+) {
     if let Some(plan) = cfg.churn {
-        apply_churn(&mut net, &mut stack, plan, seed, n0);
-        // Let joins integrate (heartbeats) before lookups begin.
+        apply_churn(net, stack, plan, seed, n0);
         let settle = net.now() + SimDuration::from_secs(15);
-        advance(&mut net, &mut stack, &mut hook, settle);
+        advance(net, stack, hook, settle);
     }
-    let after_advertise = snapshot(&net, &stack);
+}
 
-    // Phase 2: lookups. Dead lookers are substituted by live nodes (the
-    // paper's lookups are always issued by live nodes).
+/// Phase 2 plus metrics assembly: snapshots the advertise-phase message
+/// counts, issues the lookups (dead lookers are substituted by live
+/// nodes — the paper's lookups are always issued by live nodes), drains,
+/// and folds the operation records into [`RunMetrics`].
+fn lookup_tail(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    net: &mut QuorumNet,
+    stack: &mut QuorumStack,
+    workload: &Workload,
+    hook: &mut Option<ControllerHook<'_>>,
+    n0: usize,
+) -> RunMetrics {
+    let after_advertise = snapshot(net, stack);
+
     let mut substitute_rng = rng::stream(seed, streams::WORKLOAD ^ 0x10ed);
     for &(at, who, key) in &workload.lookups {
         let at = at.max(net.now());
-        advance(&mut net, &mut stack, &mut hook, at);
+        advance(net, stack, hook, at);
         let who = if net.is_alive(who) {
             who
         } else {
             let alive = net.alive_nodes();
             *alive.choose(&mut substitute_rng).expect("network alive")
         };
-        stack.lookup(&mut net, who, key);
+        stack.lookup(net, who, key);
     }
     let horizon = cfg.workload.lookup_end().max(net.now()) + cfg.drain;
-    advance(&mut net, &mut stack, &mut hook, horizon);
+    advance(net, stack, hook, horizon);
     // Masking lookups still holding an unverified vote tally close with
     // their highest-voted value (Degraded) before outcomes are read.
-    stack.finalize_pending_lookups(&mut net);
-    let final_stats = snapshot(&net, &stack);
+    stack.finalize_pending_lookups(net);
+    let final_stats = snapshot(net, stack);
 
     // Ground truth per key: the last value advertised for it. Wrong
     // reads are completions whose accepted value differs.
-    let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut truth: HashMap<u64, u64> = HashMap::new();
     for &(_, _, key, value) in &workload.advertisements {
         truth.insert(key, value);
     }
@@ -403,6 +454,414 @@ fn apply_churn(
         let n_t = n0 - fail_count + join_count;
         stack.config_mut().spec.lookup.size = (c * (n_t as f64).sqrt()).round().max(1.0) as u32;
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot/fork pipeline
+// ---------------------------------------------------------------------
+
+/// Returns `false` when `PQS_SNAPSHOT=0` (or `off` / `false`) forces
+/// every sweep cell to run from scratch. Snapshots never change results
+/// — the knob exists as the equivalence oracle's control arm and for
+/// debugging — so any other value (or no value) enables them.
+pub fn snapshots_enabled() -> bool {
+    match std::env::var("PQS_SNAPSHOT") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => true,
+    }
+}
+
+/// The network configuration a scenario actually runs with: the seed
+/// stamped in, and promiscuous mode forced on when the service relies on
+/// overhearing.
+fn derived_net_config(cfg: &ScenarioConfig, seed: u64) -> NetConfig {
+    let mut net_cfg = cfg.net.clone();
+    net_cfg.seed = seed;
+    net_cfg.promiscuous =
+        cfg.service.promiscuous_replies || cfg.service.caching || net_cfg.promiscuous;
+    net_cfg
+}
+
+/// End of the advertise window — the "A-cut" where advertise-phase
+/// templates are taken. Deliberately *before* the phase gap, so fault
+/// plans that act between the phases stay after the cut.
+fn advertise_cut(w: &WorkloadConfig) -> SimTime {
+    w.start + w.advertise_window
+}
+
+/// Where a fault plan is installed, chosen as the latest phase boundary
+/// that still precedes the plan's first possible influence. Both the
+/// classic and the phased pipeline follow this classification, so the
+/// installation point is a function of the scenario alone — never of
+/// snapshot mode or template reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultInstall {
+    /// First activity precedes the workload start: install at build time
+    /// and run classic (no prefix of the run is shareable).
+    Build,
+    /// First activity falls inside the advertise phase: install right
+    /// after stack construction at the workload start.
+    Start,
+    /// Inert until the advertise window has ended (or no plan at all):
+    /// install at the advertise cut.
+    AdvertiseCut,
+}
+
+/// The earliest instant at which a plan can influence the run: the
+/// earliest frame-rule or partition window opening, or timed node fault.
+/// Behaviour rules never constrain the result — they only alter lookup
+/// replies (generated after the phase gap), and their node resolution
+/// draws from a dedicated stream independent of installation time.
+fn fault_first_activity(plan: &FaultPlan) -> Option<SimTime> {
+    let frames = plan.frame_rules().iter().map(|r| r.from);
+    let nodes = plan.node_events().iter().map(|e| match *e {
+        NodeFaultEvent::Crash { at, .. }
+        | NodeFaultEvent::Recover { at, .. }
+        | NodeFaultEvent::RegionCrash { at, .. }
+        | NodeFaultEvent::RegionRecover { at, .. } => at,
+    });
+    let partitions = plan.partitions().iter().map(|p| p.from);
+    frames.chain(nodes).chain(partitions).min()
+}
+
+fn fault_install_point(cfg: &ScenarioConfig) -> FaultInstall {
+    let Some(plan) = &cfg.faults else {
+        return FaultInstall::AdvertiseCut;
+    };
+    match fault_first_activity(plan) {
+        None => FaultInstall::AdvertiseCut,
+        Some(t) if t < cfg.workload.start => FaultInstall::Build,
+        Some(t) if t < advertise_cut(&cfg.workload) => FaultInstall::Start,
+        Some(_) => FaultInstall::AdvertiseCut,
+    }
+}
+
+/// Canonicalises the lookup-side service knobs so scenarios that differ
+/// only in how they *look up* share one advertise-phase template. Every
+/// field canonicalised here is unread until the first lookup is issued;
+/// RANDOM-OPT-ness of the lookup strategy is preserved because it
+/// selects the router's relay tap at stack construction time.
+fn advertise_profile(s: &ServiceConfig) -> ServiceConfig {
+    let mut p = *s;
+    let lookup_strategy = if p.spec.lookup.strategy == AccessStrategy::RandomOpt {
+        AccessStrategy::RandomOpt
+    } else {
+        AccessStrategy::Random
+    };
+    p.spec.lookup = QuorumSpec::new(lookup_strategy, 1);
+    p.lookup_fanout = Fanout::Serial;
+    p.early_halting = false;
+    p.probe_timeout = SimDuration::from_secs(3);
+    p.probe_spacing = SimDuration::ZERO;
+    p.expanding_ring = false;
+    p.expanding_ring_timeout = SimDuration::from_millis(500);
+    p
+}
+
+/// The template variant of a workload: the same advertise schedule, no
+/// lookups. The generator draws all advertisement randomness before any
+/// lookup randomness, so the advertise schedule is a stream prefix
+/// shared with every member cell regardless of its lookup shape.
+fn template_workload(w: &WorkloadConfig) -> WorkloadConfig {
+    let mut t = *w;
+    t.lookups = 0;
+    t.lookers = 1;
+    t.lookup_window = SimDuration::from_secs(1);
+    t.present_fraction = 0.0;
+    t
+}
+
+/// The scenario an advertise-phase template is built from: the member's
+/// scenario with lookup-side service knobs canonicalised, no lookups,
+/// and no post-cut machinery (churn, faults, drain).
+fn template_scenario(cfg: &ScenarioConfig) -> ScenarioConfig {
+    ScenarioConfig {
+        net: cfg.net.clone(),
+        service: advertise_profile(&cfg.service),
+        workload: template_workload(&cfg.workload),
+        churn: None,
+        faults: None,
+        drain: SimDuration::ZERO,
+    }
+}
+
+/// Warm-template identity: everything that determines substrate state at
+/// the workload start. (`Debug` renders floats exactly, so distinct
+/// configurations cannot collide.)
+fn warm_key(cfg: &ScenarioConfig, seed: u64) -> String {
+    format!(
+        "{:?}|{:?}",
+        derived_net_config(cfg, seed),
+        cfg.workload.start
+    )
+}
+
+/// Advertise-template identity: the full canonicalised template scenario
+/// plus the seed.
+fn adv_key(cfg: &ScenarioConfig, seed: u64) -> String {
+    format!("{:?}|{seed}", template_scenario(cfg))
+}
+
+/// A substrate warmed to the workload start with no service stack on
+/// top. `net` is `None` when the warmup delivered an upcall — the
+/// "stack-free warmup" premise does not hold for that configuration and
+/// every dependent cell falls back to the classic runner.
+struct WarmTemplate {
+    net: Option<QuorumNet>,
+}
+
+/// A full simulation snapshotted at the advertise cut, built under the
+/// canonicalised advertise profile. `population` is the alive set the
+/// workload was generated from, captured at the workload start so member
+/// cells regenerate byte-identical advertise schedules.
+struct AdvTemplate {
+    state: Option<(QuorumNet, QuorumStack, Vec<NodeId>)>,
+}
+
+/// Counts upcalls during a stack-free warmup. Any upcall means the
+/// warmup is not reusable across service configurations; the taint is a
+/// pure function of `(cfg, seed)`, so every snapshot mode reaches the
+/// same fallback decision.
+#[derive(Default)]
+struct WarmupProbe {
+    upcalls: u64,
+}
+
+impl Stack<RoutePacket<AppMsg>> for WarmupProbe {
+    fn on_upcall(&mut self, _net: &mut QuorumNet, _upcall: Upcall<RoutePacket<AppMsg>>) {
+        self.upcalls += 1;
+    }
+}
+
+/// Builds the substrate and warms it (hello traffic, mobility) to the
+/// workload start without a service stack attached.
+fn build_warm(cfg: &ScenarioConfig, seed: u64) -> WarmTemplate {
+    let mut net: QuorumNet = Network::new(derived_net_config(cfg, seed));
+    let mut probe = WarmupProbe::default();
+    net.run(&mut probe, cfg.workload.start);
+    WarmTemplate {
+        net: (probe.upcalls == 0).then_some(net),
+    }
+}
+
+/// Runs the advertise phase: a warmed substrate (cloned from `warm`, or
+/// built fresh), the stack constructed at the workload start, the
+/// workload generated, in-phase fault plans installed, and every
+/// advertisement issued up to the advertise cut. Returns `None` when the
+/// warmup was not stack-free.
+#[allow(clippy::type_complexity)]
+fn advertise_phase(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    warm: Option<&WarmTemplate>,
+) -> Option<(QuorumNet, QuorumStack, Vec<NodeId>, Workload)> {
+    let mut net = match warm {
+        Some(t) => t.net.as_ref()?.clone(),
+        None => build_warm(cfg, seed).net?,
+    };
+    let mut stack = QuorumStack::new(&net, cfg.service, seed);
+    let population = net.alive_nodes();
+    let mut workload_rng = rng::stream(seed, streams::WORKLOAD);
+    let workload = Workload::generate(&cfg.workload, &population, &mut workload_rng);
+    if fault_install_point(cfg) == FaultInstall::Start {
+        let plan = cfg.faults.clone().expect("Start implies a plan");
+        net.install_faults(plan);
+    }
+    for &(at, who, key, value) in &workload.advertisements {
+        net.run(&mut stack, at);
+        stack.advertise(&mut net, who, key, value);
+    }
+    net.run(&mut stack, advertise_cut(&cfg.workload));
+    Some((net, stack, population, workload))
+}
+
+/// Builds an advertise-phase template for every cell sharing `cfg`'s
+/// advertise behaviour.
+fn build_adv(cfg: &ScenarioConfig, seed: u64, warm: Option<&WarmTemplate>) -> AdvTemplate {
+    let tcfg = template_scenario(cfg);
+    AdvTemplate {
+        state: advertise_phase(&tcfg, seed, warm)
+            .map(|(net, stack, population, _)| (net, stack, population)),
+    }
+}
+
+/// The phased pipeline for one cell: the advertise phase (forked from a
+/// template when one is supplied) followed by the measure phase. `None`
+/// means the warmup was not stack-free — the caller falls back to the
+/// classic runner, a decision that depends only on `(cfg, seed)`.
+fn run_phased(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    warm: Option<&WarmTemplate>,
+    adv: Option<&AdvTemplate>,
+) -> Option<RunMetrics> {
+    debug_assert!(fault_install_point(cfg) != FaultInstall::Build);
+    let (mut net, mut stack, workload) = match adv {
+        Some(t) => {
+            let (tnet, tstack, population) = t.state.as_ref()?;
+            debug_assert_eq!(fault_install_point(cfg), FaultInstall::AdvertiseCut);
+            let net = tnet.clone();
+            let mut stack = tstack.clone();
+            // The template ran the advertise phase under the
+            // canonicalised profile; hand the fork its real service
+            // config before any lookup-side knob is read.
+            *stack.config_mut() = cfg.service;
+            let mut workload_rng = rng::stream(seed, streams::WORKLOAD);
+            let workload = Workload::generate(&cfg.workload, population, &mut workload_rng);
+            (net, stack, workload)
+        }
+        None => {
+            let (net, stack, _population, workload) = advertise_phase(cfg, seed, warm)?;
+            (net, stack, workload)
+        }
+    };
+    // Every node is alive at build time, so the pre-churn population size
+    // equals the configured node count even when in-phase faults already
+    // crashed some nodes by the cut.
+    let n0 = cfg.net.n;
+    if fault_install_point(cfg) == FaultInstall::AdvertiseCut {
+        if let Some(plan) = &cfg.faults {
+            net.install_faults(plan.clone());
+        }
+    }
+    let mut hook: Option<ControllerHook<'_>> = None;
+    advance(&mut net, &mut stack, &mut hook, cfg.workload.lookup_start());
+    churn_and_settle(cfg, seed, n0, &mut net, &mut stack, &mut hook);
+    Some(lookup_tail(
+        cfg, seed, &mut net, &mut stack, &workload, &mut hook, n0,
+    ))
+}
+
+/// One sweep cell: a scenario and a seed.
+pub type SweepCell = (ScenarioConfig, u64);
+
+/// Runs a batch of sweep cells on the bounded worker pool, sharing
+/// warmed simulation prefixes between cells.
+///
+/// The grid executes as a prefix tree in three waves:
+///
+/// 1. one *warm template* per distinct substrate (derived network config
+///    plus workload start): topology built and warmed to the workload
+///    start with no stack on top;
+/// 2. one *advertise template* per distinct advertise-phase behaviour
+///    (substrate, canonicalised service profile, advertise schedule,
+///    seed), forked from its warm template;
+/// 3. every cell forked from the deepest template it matches and run to
+///    completion.
+///
+/// Results are byte-identical to calling [`run_scenario`] per cell — at
+/// any pool width and with `PQS_SNAPSHOT=0` (which really does run every
+/// cell from scratch): sharing decisions depend only on each cell's
+/// `(cfg, seed)`. Cells whose fault plans act before the workload start,
+/// and cells whose warmup turns out not to be stack-free, run classic.
+pub fn run_cells(cells: &[SweepCell], width: usize) -> Vec<RunMetrics> {
+    if !snapshots_enabled() || cells.len() <= 1 {
+        let jobs: Vec<_> = cells
+            .iter()
+            .map(|(cfg, seed)| {
+                let seed = *seed;
+                move || run_scenario(cfg, seed)
+            })
+            .collect();
+        return pqs_sim::pool::run_ordered(width, jobs);
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Classic,
+        Warm,
+        Adv,
+    }
+    let modes: Vec<Mode> = cells
+        .iter()
+        .map(|(cfg, _)| match fault_install_point(cfg) {
+            FaultInstall::Build => Mode::Classic,
+            FaultInstall::Start => Mode::Warm,
+            FaultInstall::AdvertiseCut => Mode::Adv,
+        })
+        .collect();
+
+    // Wave 1: warm templates, one per distinct substrate.
+    let mut warm_index: HashMap<String, usize> = HashMap::new();
+    let mut warm_reps: Vec<usize> = Vec::new();
+    let cell_warm: Vec<Option<usize>> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, (cfg, seed))| {
+            if modes[i] == Mode::Classic {
+                return None;
+            }
+            let idx = *warm_index.entry(warm_key(cfg, *seed)).or_insert_with(|| {
+                warm_reps.push(i);
+                warm_reps.len() - 1
+            });
+            Some(idx)
+        })
+        .collect();
+    let warm_jobs: Vec<_> = warm_reps
+        .iter()
+        .map(|&i| {
+            let (cfg, seed) = &cells[i];
+            let seed = *seed;
+            move || build_warm(cfg, seed)
+        })
+        .collect();
+    let warms: Vec<Arc<WarmTemplate>> = pqs_sim::pool::run_ordered(width, warm_jobs)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    // Wave 2: advertise templates, forked from their warm template.
+    let mut adv_index: HashMap<String, usize> = HashMap::new();
+    let mut adv_reps: Vec<usize> = Vec::new();
+    let cell_adv: Vec<Option<usize>> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, (cfg, seed))| {
+            if modes[i] != Mode::Adv {
+                return None;
+            }
+            let idx = *adv_index.entry(adv_key(cfg, *seed)).or_insert_with(|| {
+                adv_reps.push(i);
+                adv_reps.len() - 1
+            });
+            Some(idx)
+        })
+        .collect();
+    let adv_jobs: Vec<_> = adv_reps
+        .iter()
+        .map(|&i| {
+            let (cfg, seed) = &cells[i];
+            let seed = *seed;
+            let warm = cell_warm[i].map(|w| warms[w].clone());
+            move || build_adv(cfg, seed, warm.as_deref())
+        })
+        .collect();
+    let advs: Vec<Arc<AdvTemplate>> = pqs_sim::pool::run_ordered(width, adv_jobs)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    // Wave 3: every cell, forked from the deepest matching template.
+    let leaf_jobs: Vec<_> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, (cfg, seed))| {
+            let seed = *seed;
+            let mode = modes[i];
+            let warm = cell_warm[i].map(|w| warms[w].clone());
+            let adv = cell_adv[i].map(|a| advs[a].clone());
+            move || match mode {
+                Mode::Classic => run_scenario_classic(cfg, seed, None),
+                Mode::Warm | Mode::Adv => run_phased(cfg, seed, warm.as_deref(), adv.as_deref())
+                    .unwrap_or_else(|| run_scenario_classic(cfg, seed, None)),
+            }
+        })
+        .collect();
+    pqs_sim::pool::run_ordered(width, leaf_jobs)
 }
 
 /// Runs a scenario over several seeds on the bounded worker pool

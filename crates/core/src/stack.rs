@@ -33,6 +33,7 @@ pub type QuorumNet = Network<RoutePacket<AppMsg>>;
 const MAX_SALVAGE_ATTEMPTS: usize = 5;
 const MAX_PROBE_SUBSTITUTIONS: u32 = 10;
 
+#[derive(Clone)]
 enum LinkCtx {
     WalkForward {
         at: NodeId,
@@ -49,6 +50,7 @@ enum LinkCtx {
     FireAndForget,
 }
 
+#[derive(Clone)]
 enum TimerCtx {
     SerialProbe {
         op: OpId,
@@ -83,6 +85,7 @@ enum TimerCtx {
     },
 }
 
+#[derive(Clone)]
 enum RouteCtx {
     StoreSend {
         op: OpId,
@@ -104,6 +107,7 @@ enum RouteCtx {
     },
 }
 
+#[derive(Clone)]
 struct SerialLookup {
     origin: NodeId,
     key: Key,
@@ -113,6 +117,7 @@ struct SerialLookup {
 }
 
 /// Per-operation state of the retry layer.
+#[derive(Clone)]
 struct RetryState {
     /// Issue attempts so far (mirrors `OpRecord::attempts`).
     attempts: u32,
@@ -153,6 +158,13 @@ impl std::error::Error for ReconfigureError {}
 /// Use [`QuorumStack::advertise`] and [`QuorumStack::lookup`] to issue
 /// operations between `Network::run` horizons; inspect outcomes with
 /// [`QuorumStack::ops`] and the counters.
+///
+/// Cloning forks the full service state — stores, membership views,
+/// operation records, pending contexts, and the private RNG — so a
+/// stack snapshotted after the advertise phase can be replayed under
+/// many lookup-side configurations. Timer/route handles stay valid on
+/// both copies (forked schedulers honour pre-clone `EventId`s).
+#[derive(Clone)]
 pub struct QuorumStack {
     /// The AODV router (public for stats access).
     pub router: Router<AppMsg>,

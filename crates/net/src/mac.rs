@@ -92,7 +92,7 @@ pub enum MacPhase {
 }
 
 /// Per-node MAC state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MacState<P> {
     queue: VecDeque<Outgoing<P>>,
     /// Current transmit phase.

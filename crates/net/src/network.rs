@@ -109,13 +109,14 @@ pub trait Stack<P: Clone> {
     fn on_upcall(&mut self, net: &mut Network<P>, upcall: Upcall<P>);
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct NodeState {
     motion: Motion,
     alive: bool,
     ack_timeout: Option<EventId>,
 }
 
+#[derive(Clone)]
 struct Inflight<P> {
     sender: NodeId,
     frame: Frame<Payload<P>>,
@@ -127,6 +128,12 @@ struct Inflight<P> {
 ///
 /// Generic over the payload type `P` carried by data frames (the routing
 /// layer's packet type).
+///
+/// Cloning forks the whole substrate — scheduler, medium, MAC and node
+/// slabs — at the current instant. Timer handles held by the upper layer
+/// stay valid on both copies (see [`EventId`]), so a warmed network can
+/// be snapshotted once and replayed under many configurations.
+#[derive(Clone)]
 pub struct Network<P> {
     config: NetConfig,
     side: f64,

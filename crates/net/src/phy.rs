@@ -195,7 +195,7 @@ struct PendingRx {
 /// - interference from transmitters beyond
 ///   [`PhyConfig::interference_range_m`] is folded into the noise floor,
 /// - propagation delay is neglected (≤ 1 µs at these ranges).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Medium {
     phy: PhyConfig,
     /// Precomputed linear-form path-loss curve (the hot-path form).

@@ -254,7 +254,7 @@ pub enum RouterEvent<P> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TransitHandle(u64);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Discovery<P> {
     buffered: Vec<(Payload<P>, u64)>,
     ttl: u8,
@@ -263,7 +263,7 @@ struct Discovery<P> {
     timer: EventId,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct NodeRouting {
     table: RouteTable,
     seq: u32,
@@ -272,6 +272,7 @@ struct NodeRouting {
     seen_rreqs: HashSet<(NodeId, u64)>,
 }
 
+#[derive(Clone)]
 enum TokenCtx {
     FirstHop {
         node: NodeId,
@@ -286,6 +287,7 @@ enum TokenCtx {
     Control,
 }
 
+#[derive(Clone)]
 enum TimerCtx {
     DiscoveryTimeout { node: NodeId, dst: NodeId },
 }
@@ -294,6 +296,11 @@ enum TimerCtx {
 ///
 /// See the crate-level docs for the composition pattern; the integration
 /// tests and `pqs-core` show complete stacks.
+///
+/// Cloning forks all per-node routing state (tables, pending
+/// discoveries, in-flight tokens); discovery timers remain cancellable
+/// on both copies because forked schedulers honour pre-clone handles.
+#[derive(Clone)]
 pub struct Router<P> {
     cfg: RouterConfig,
     nodes: Vec<NodeRouting>,

@@ -3,14 +3,30 @@
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-global source of queue identities. Every [`EventQueue`] mints
+/// a distinct nonce at construction so an [`EventId`] can name the queue
+/// that issued it. The value itself carries no meaning (it is only
+/// compared for equality), so the allocation order across threads cannot
+/// leak nondeterminism into a simulation.
+static NEXT_QUEUE_NONCE: AtomicU64 = AtomicU64::new(0);
 
 /// An opaque handle identifying a scheduled event, used to cancel it.
 ///
-/// Ids are unique within one [`EventQueue`] and are never reused.
+/// Ids are unique within one [`EventQueue`] and are never reused. An id
+/// also remembers *which* queue minted it: passing it to a different
+/// queue's [`EventQueue::cancel`] returns `false` instead of cancelling
+/// an unrelated event that happens to share the sequence number. A
+/// cloned queue keeps its parent's identity, so ids minted before the
+/// clone remain valid on both copies (each side cancels independently).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    queue: u64,
+    seq: u64,
+}
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -36,12 +52,24 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Heaps smaller than this are never compacted: the rebuild would cost
+/// more than the tombstones it reclaims.
+const COMPACT_MIN_HEAP: usize = 64;
+
 /// A deterministic, time-ordered event queue with cancellation.
 ///
 /// Events scheduled for the same instant are popped in the order they were
 /// scheduled (FIFO), which keeps simulations reproducible regardless of
 /// heap internals. Cancellation is lazy: a cancelled event stays in the
-/// heap but is skipped when it reaches the front.
+/// heap until it reaches the front — but when tombstones outnumber live
+/// entries the heap is compacted in place, so a schedule/cancel storm
+/// (e.g. MAC defer churn) cannot grow the heap far beyond [`len`].
+///
+/// Cloning a queue clones every pending event; the clone keeps the
+/// parent's identity, so [`EventId`]s minted before the clone cancel on
+/// either copy (independently), which is what forked simulations need.
+///
+/// [`len`]: Self::len
 ///
 /// # Examples
 ///
@@ -57,14 +85,18 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(queue.pop().map(|(_, e)| e), Some("late"));
 /// assert!(queue.pop().is_none());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Sequence numbers of events that are scheduled and not yet popped or
     /// cancelled. Makes `cancel` O(1); the heap entry of a cancelled event
-    /// is discarded lazily when it reaches the front.
+    /// is discarded lazily when it reaches the front (or in bulk by the
+    /// tombstone compaction).
     pending: HashSet<u64>,
     next_seq: u64,
+    /// This queue's identity, stamped into every [`EventId`] it mints so
+    /// foreign ids are rejected instead of aliasing a local event.
+    nonce: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -74,6 +106,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             pending: HashSet::new(),
             next_seq: 0,
+            nonce: NEXT_QUEUE_NONCE.fetch_add(1, AtomicOrdering::Relaxed),
         }
     }
 
@@ -84,15 +117,39 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
         self.pending.insert(seq);
-        EventId(seq)
+        EventId {
+            queue: self.nonce,
+            seq,
+        }
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was still pending; `false` if it has
-    /// already fired or was already cancelled.
+    /// already fired, was already cancelled, or was minted by a
+    /// *different* queue (sequence numbers are per-queue, so honouring a
+    /// foreign id would silently cancel an unrelated event).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        if id.queue != self.nonce {
+            return false;
+        }
+        let cancelled = self.pending.remove(&id.seq);
+        if cancelled {
+            self.maybe_compact();
+        }
+        cancelled
+    }
+
+    /// Rebuilds the heap without its tombstones once they outnumber the
+    /// live entries. Pop order is unaffected: entries are totally ordered
+    /// by `(at, seq)`, so the heap's internal layout never shows through.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() >= COMPACT_MIN_HEAP
+            && self.heap.len() - self.pending.len() > self.heap.len() / 2
+        {
+            let pending = &self.pending;
+            self.heap.retain(|entry| pending.contains(&entry.seq));
+        }
     }
 
     /// Removes and returns the earliest pending event with its firing time.
@@ -192,6 +249,96 @@ mod tests {
         let id = q2.schedule(SimTime::ZERO, ());
         let _ = q2;
         assert!(!q1.cancel(id));
+    }
+
+    #[test]
+    fn cancel_foreign_id_never_hits_a_local_event() {
+        // Regression: seq numbers are per-queue, so before ids carried a
+        // queue nonce, a foreign id aliased whichever local event shared
+        // its seq. Both queues are non-empty here so the alias exists.
+        let mut q1 = EventQueue::new();
+        let mut q2 = EventQueue::new();
+        let local = q1.schedule(SimTime::from_secs(1), "local");
+        let foreign = q2.schedule(SimTime::from_secs(1), "foreign");
+        assert!(
+            !q1.cancel(foreign),
+            "a foreign id must be rejected, not alias seq {:?}",
+            foreign
+        );
+        assert_eq!(
+            q1.pop(),
+            Some((SimTime::from_secs(1), "local")),
+            "the local event must survive a foreign cancel"
+        );
+        assert!(q2.cancel(local) == false, "and symmetrically");
+        assert_eq!(q2.pop(), Some((SimTime::from_secs(1), "foreign")));
+    }
+
+    #[test]
+    fn cloned_queue_honours_parent_ids_independently() {
+        let mut parent = EventQueue::new();
+        let keep = parent.schedule(SimTime::from_secs(1), "keep");
+        let drop_ = parent.schedule(SimTime::from_secs(2), "drop");
+        let mut fork = parent.clone();
+        // The fork cancels one event; the parent is unaffected.
+        assert!(fork.cancel(drop_));
+        assert_eq!(fork.len(), 1);
+        assert_eq!(parent.len(), 2);
+        // Parent-minted ids still work on the parent too.
+        assert!(parent.cancel(drop_));
+        assert!(parent.cancel(keep));
+        assert_eq!(fork.pop(), Some((SimTime::from_secs(1), "keep")));
+        // Events scheduled after the clone are private to each copy.
+        let late = fork.schedule(SimTime::from_secs(3), "late");
+        assert!(fork.cancel(late));
+        assert!(parent.is_empty());
+    }
+
+    #[test]
+    fn tombstone_storm_keeps_heap_bounded() {
+        let mut q = EventQueue::new();
+        // A few long-lived events keep the queue non-trivial.
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_secs(1000 + i), i as i64);
+        }
+        // Storm: schedule far-future events and cancel them immediately,
+        // so none ever reaches the front for lazy reclamation.
+        for i in 0..100_000 {
+            let id = q.schedule(SimTime::from_secs(2000), i);
+            assert!(q.cancel(id));
+        }
+        assert_eq!(q.len(), 10);
+        assert!(
+            q.heap.len() <= 2 * COMPACT_MIN_HEAP,
+            "heap grew to {} entries under a cancel storm of 100k",
+            q.heap.len()
+        );
+        // Live events are all still there, in order.
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compaction_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        let mut live = Vec::new();
+        // Interleave live and cancelled entries at one instant so the
+        // compaction rebuild happens with ties in flight.
+        for i in 0..512 {
+            let id = q.schedule(t, i);
+            if i % 3 == 0 {
+                q.cancel(id);
+            } else {
+                live.push(i);
+            }
+        }
+        for i in 512..4096 {
+            let id = q.schedule(SimTime::from_secs(5), i);
+            q.cancel(id);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, live, "FIFO tie order survives compaction");
     }
 
     #[test]

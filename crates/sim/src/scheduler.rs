@@ -10,6 +10,10 @@ use crate::time::{SimDuration, SimTime};
 /// simulation owns a `Scheduler` alongside its own state and drives it
 /// either manually with [`Scheduler::pop`] or through [`run_until`].
 ///
+/// Cloning forks the queue and the clock: `EventId`s minted before the
+/// clone stay cancellable on both copies, and the copies evolve
+/// independently afterwards — the basis of snapshot/fork sweeps.
+///
 /// # Examples
 ///
 /// ```
@@ -22,7 +26,7 @@ use crate::time::{SimDuration, SimTime};
 /// assert_eq!(scheduler.now(), at);
 /// assert_eq!(event, "hello");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Scheduler<E> {
     queue: EventQueue<E>,
     now: SimTime,

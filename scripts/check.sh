@@ -29,16 +29,26 @@ cargo test -q -p pqs-core --test metrics_determinism
 echo "==> planner: pqs-plan suites (planner props + controller)"
 cargo test -q -p pqs-plan
 
+echo "==> snapshot equivalence: pqs-core suite"
+cargo test -q -p pqs-core --test snapshot_equivalence
+
 echo "==> sweep engine: PQS_JOBS=2 smoke sweep, diff vs sequential"
 seq_dir="$(mktemp -d)"
 par_dir="$(mktemp -d)"
-trap 'rm -rf "$seq_dir" "$par_dir"' EXIT
+snap_dir="$(mktemp -d)"
+trap 'rm -rf "$seq_dir" "$par_dir" "$snap_dir"' EXIT
 PQS_BENCH_DIR="$seq_dir" PQS_JOBS=1 PQS_SEEDS=1 PQS_SIZES=50 \
     cargo run --release -q -p pqs-bench --bin fig8_random >/dev/null
 PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
     cargo run --release -q -p pqs-bench --bin fig8_random >/dev/null
 diff "$seq_dir/fig8_random.json" "$par_dir/fig8_random.json" \
     || { echo "fig8_random.json differs between PQS_JOBS=1 and 2"; exit 1; }
+
+echo "==> snapshot sharing: PQS_SNAPSHOT=0 smoke sweep, diff vs snapshots on"
+PQS_BENCH_DIR="$snap_dir" PQS_SNAPSHOT=0 PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
+    cargo run --release -q -p pqs-bench --bin fig8_random >/dev/null
+diff "$par_dir/fig8_random.json" "$snap_dir/fig8_random.json" \
+    || { echo "fig8_random.json differs between snapshots on and PQS_SNAPSHOT=0"; exit 1; }
 
 echo "==> adaptive planner: fig_adaptive smoke, diff vs sequential"
 PQS_BENCH_DIR="$seq_dir" PQS_JOBS=1 PQS_SEEDS=1 PQS_SIZES=50 \
@@ -67,6 +77,43 @@ for sidecar in bench_results/*.perf.json; do
     grep -q '"pool_width": *[1-9]' "$sidecar" \
         || { echo "$sidecar: pool_width must be >= 1"; exit 1; }
 done
+
+echo "==> perf gate: committed sidecars vs committed BENCH_SUMMARY.json"
+PQS_PERF_BASELINE="${PQS_PERF_BASELINE:-}" \
+    cargo run --release -q -p pqs-bench --bin bench_summary -- \
+    bench_results "$seq_dir/BENCH_SUMMARY.json" --baseline BENCH_SUMMARY.json \
+    || { echo "perf gate tripped: a bench regressed >20% vs BENCH_SUMMARY.json"; exit 1; }
+
+echo "==> perf gate self-test: an inflated sidecar must trip the gate"
+gate_dir="$(mktemp -d)"
+cat > "$gate_dir/selftest.perf.json" <<'EOF'
+{
+  "name": "selftest",
+  "wall_ms": 100000
+}
+EOF
+cat > "$gate_dir/baseline.json" <<'EOF'
+{
+  "perf": {
+    "sweeps": [
+      {
+        "name": "selftest",
+        "wall_ms": 1000
+      }
+    ]
+  }
+}
+EOF
+if PQS_PERF_BASELINE= cargo run --release -q -p pqs-bench --bin bench_summary -- \
+    "$gate_dir" "$gate_dir/out.json" --baseline "$gate_dir/baseline.json" >/dev/null 2>&1; then
+    echo "perf gate self-test failed: 100x inflated sidecar did not trip the gate"
+    rm -rf "$gate_dir"
+    exit 1
+fi
+PQS_PERF_BASELINE=ignore cargo run --release -q -p pqs-bench --bin bench_summary -- \
+    "$gate_dir" "$gate_dir/out.json" --baseline "$gate_dir/baseline.json" >/dev/null 2>&1 \
+    || { echo "perf gate self-test failed: PQS_PERF_BASELINE=ignore did not bypass"; rm -rf "$gate_dir"; exit 1; }
+rm -rf "$gate_dir"
 
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test --workspace -q"
