@@ -101,19 +101,27 @@ fn main() -> ExitCode {
 
     let count = reports.len();
     let skipped_count = skipped.len();
+    let (regressions, new_benches) = compare_to_baseline(&baseline, &perf_entries);
     let mut summary = JsonValue::object([
         ("results_dir", JsonValue::from(dir.display().to_string())),
         ("report_count", JsonValue::from(count)),
         ("reports", JsonValue::array(reports)),
     ]);
     if !perf_entries.is_empty() {
-        summary.insert(
-            "perf",
-            JsonValue::object([
-                ("total_wall_ms", JsonValue::from(total_wall_ms)),
-                ("sweeps", JsonValue::array(perf_entries.clone())),
-            ]),
-        );
+        let mut perf = JsonValue::object([
+            ("total_wall_ms", JsonValue::from(total_wall_ms)),
+            ("sweeps", JsonValue::array(perf_entries.clone())),
+        ]);
+        // Benches with no baseline entry are recorded, not gated: a
+        // brand-new bench has nothing to regress against, and silently
+        // skipping it would hide that the gate never saw it.
+        if !new_benches.is_empty() && !baseline.is_empty() {
+            perf.insert(
+                "new_benches",
+                JsonValue::array(new_benches.iter().map(|n| JsonValue::from(n.as_str()))),
+            );
+        }
+        summary.insert("perf", perf);
     }
     if !skipped.is_empty() {
         summary.insert(
@@ -131,7 +139,11 @@ fn main() -> ExitCode {
         dir.display()
     );
 
-    let regressions = find_regressions(&baseline, &perf_entries);
+    if !baseline.is_empty() {
+        for name in &new_benches {
+            eprintln!("warning: bench {name} has no baseline entry; recorded as new, not gated");
+        }
+    }
     if regressions.is_empty() {
         return ExitCode::SUCCESS;
     }
@@ -181,10 +193,17 @@ fn baseline_wall_ms(path: &Path) -> HashMap<String, u64> {
     map
 }
 
-/// Compares fresh sidecars against the baseline: a regression is >20%
-/// slower AND at least [`REGRESSION_FLOOR_MS`] in absolute terms.
-fn find_regressions(baseline: &HashMap<String, u64>, fresh: &[JsonValue]) -> Vec<String> {
-    let mut out = Vec::new();
+/// Compares fresh sidecars against the baseline. Returns the
+/// regressions — >20% slower AND at least [`REGRESSION_FLOOR_MS`] in
+/// absolute terms — and, separately, the benches absent from the
+/// baseline entirely (brand-new ones, which must never trip the gate
+/// but must not vanish from the report either).
+fn compare_to_baseline(
+    baseline: &HashMap<String, u64>,
+    fresh: &[JsonValue],
+) -> (Vec<String>, Vec<String>) {
+    let mut regressions = Vec::new();
+    let mut new_benches = Vec::new();
     for entry in fresh {
         let (Some(name), Some(wall)) = (
             entry.get("name").and_then(|v| v.as_str()),
@@ -193,17 +212,19 @@ fn find_regressions(baseline: &HashMap<String, u64>, fresh: &[JsonValue]) -> Vec
             continue;
         };
         let Some(&base) = baseline.get(name) else {
+            new_benches.push(name.to_string());
             continue;
         };
         if wall > base + REGRESSION_FLOOR_MS && wall as f64 > base as f64 * 1.2 {
-            out.push(format!(
+            regressions.push(format!(
                 "{name}: {wall} ms vs baseline {base} ms ({:+.0}%)",
                 (wall as f64 / base as f64 - 1.0) * 100.0
             ));
         }
     }
-    out.sort();
-    out
+    regressions.sort();
+    new_benches.sort();
+    (regressions, new_benches)
 }
 
 fn file_name(path: &Path) -> String {
@@ -256,4 +277,56 @@ fn summarize(path: &Path, doc: &JsonValue) -> JsonValue {
         entry.insert("metrics", metrics.clone());
     }
     entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sidecar(name: &str, wall_ms: u64) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::from(name)),
+            ("wall_ms", JsonValue::from(wall_ms)),
+        ])
+    }
+
+    #[test]
+    fn new_bench_is_reported_not_gated() {
+        let baseline = HashMap::from([("fig_old".to_string(), 1_000u64)]);
+        let fresh = vec![sidecar("fig_old", 1_000), sidecar("fig_scale", 9_999_999)];
+        let (regressions, new_benches) = compare_to_baseline(&baseline, &fresh);
+        assert!(
+            regressions.is_empty(),
+            "a bench with no baseline must never trip the gate: {regressions:?}"
+        );
+        assert_eq!(
+            new_benches,
+            vec!["fig_scale".to_string()],
+            "a bench with no baseline must surface as new, not be skipped"
+        );
+    }
+
+    #[test]
+    fn known_bench_still_gates_regressions() {
+        let baseline = HashMap::from([
+            ("fig_fast".to_string(), 1_000u64),
+            ("fig_slow".to_string(), 1_000u64),
+        ]);
+        let fresh = vec![sidecar("fig_fast", 1_100), sidecar("fig_slow", 2_000)];
+        let (regressions, new_benches) = compare_to_baseline(&baseline, &fresh);
+        assert_eq!(regressions.len(), 1, "only the >20% bench trips the gate");
+        assert!(regressions[0].starts_with("fig_slow:"), "{regressions:?}");
+        assert!(new_benches.is_empty());
+    }
+
+    #[test]
+    fn small_absolute_slowdowns_stay_under_the_floor() {
+        // 3x slower but only 150 ms in absolute terms: timer jitter, not
+        // a regression.
+        let baseline = HashMap::from([("fig_tiny".to_string(), 50u64)]);
+        let fresh = vec![sidecar("fig_tiny", 150)];
+        let (regressions, new_benches) = compare_to_baseline(&baseline, &fresh);
+        assert!(regressions.is_empty());
+        assert!(new_benches.is_empty());
+    }
 }

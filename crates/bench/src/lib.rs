@@ -147,6 +147,18 @@ pub fn largest_n() -> usize {
     network_sizes().into_iter().max().expect("non-empty sizes")
 }
 
+/// The node counts swept by the `fig_scale` throughput bench. These are
+/// deliberately far beyond the paper's sizes — the point is scheduler
+/// and node-state scaling, not protocol fidelity — so they get their
+/// own default instead of [`network_sizes`]; `PQS_SIZES` still
+/// overrides (the check-script smoke runs at `PQS_SIZES=2000`).
+pub fn scale_sizes() -> Vec<usize> {
+    if let Ok(raw) = std::env::var("PQS_SIZES") {
+        return parse_sizes(&raw).unwrap_or_else(|msg| fail_knob(&msg));
+    }
+    vec![1_000, 10_000, 100_000]
+}
+
 /// Prints a title and a column header line, and opens a new section in
 /// the machine-readable report (see [`report`]).
 pub fn header(title: &str, columns: &[&str]) {
@@ -293,6 +305,7 @@ pub mod report {
         sections: Vec<Section>,
         values: Vec<(String, JsonValue)>,
         perf: SweepPerf,
+        perf_values: Vec<(String, JsonValue)>,
     }
 
     static STATE: Mutex<State> = Mutex::new(State {
@@ -304,6 +317,7 @@ pub mod report {
             pool_width: 0,
             wall: Duration::ZERO,
         },
+        perf_values: Vec::new(),
     });
 
     /// When the bench first touched the report collector — the start of
@@ -363,6 +377,33 @@ pub mod report {
         state.values.push((key.to_string(), value));
     }
 
+    /// Attaches a measured value (throughput, memory, …) to the
+    /// `<name>.perf.json` sidecar instead of the main export. Use this
+    /// for anything host-dependent: the main export must stay
+    /// byte-identical across machines, pool widths and scheduler
+    /// implementations, and the sidecar is where nondeterminism lives.
+    pub fn add_perf_value(key: &str, value: JsonValue) {
+        touch_start();
+        let mut state = STATE.lock().expect("report lock");
+        state.perf_values.push((key.to_string(), value));
+    }
+
+    /// Peak resident set size of this process in bytes (`VmHWM` from
+    /// `/proc/self/status`), or `None` where procfs is unavailable.
+    /// No external crates: the field is a plain `VmHWM:  1234 kB` line.
+    pub fn peak_rss_bytes() -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: u64 = line
+            .trim_start_matches("VmHWM:")
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .ok()?;
+        Some(kb * 1024)
+    }
+
     /// The report captured so far, as a JSON tree.
     pub fn to_json(name: &str) -> JsonValue {
         let state = STATE.lock().expect("report lock");
@@ -410,7 +451,7 @@ pub mod report {
         } else {
             pqs_sim::pool::configured_width()
         };
-        JsonValue::object([
+        let mut out = JsonValue::object([
             ("name", JsonValue::from(name)),
             ("pool_width", JsonValue::from(pool_width)),
             ("sweeps", JsonValue::from(state.perf.sweeps)),
@@ -432,7 +473,11 @@ pub mod report {
                 "sweep_wall_ms",
                 JsonValue::from(state.perf.wall.as_millis() as u64),
             ),
-        ])
+        ]);
+        for (key, value) in &state.perf_values {
+            out.insert(key.as_str(), value.clone());
+        }
+        out
     }
 
     /// Directory the JSON exports are written to (`PQS_BENCH_DIR`,

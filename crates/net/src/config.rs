@@ -141,6 +141,20 @@ impl PhyConfig {
         let margin_db = self.rx_threshold_dbm - self.cs_threshold_dbm;
         self.ideal_range_m * 10f64.powf(margin_db / 40.0)
     }
+
+    /// The maximum distance at which a reception can *begin* under the
+    /// configured model: the unit-disk radius for the protocol model,
+    /// the calibrated ideal range for the physical model (the power
+    /// curve equals the rx threshold exactly there). Nodes beyond it can
+    /// still interfere with receptions in progress — interference is
+    /// resolved against `interference_range_m` — but can never lock onto
+    /// a new frame, so candidate-receiver queries need only this radius.
+    pub fn reception_range_m(&self) -> f64 {
+        match self.reception {
+            ReceptionModel::Protocol { range_m, .. } => range_m,
+            ReceptionModel::Physical { .. } => self.ideal_range_m,
+        }
+    }
 }
 
 /// MAC-layer parameters (Fig. 2, "MAC": DSSS 802.11b with long preamble).

@@ -109,17 +109,60 @@ pub trait Stack<P: Clone> {
     fn on_upcall(&mut self, net: &mut Network<P>, upcall: Upcall<P>);
 }
 
-#[derive(Debug, Clone)]
-struct NodeState {
-    motion: Motion,
-    alive: bool,
-    ack_timeout: Option<EventId>,
-}
-
 #[derive(Clone)]
 struct Inflight<P> {
     sender: NodeId,
     frame: Frame<Payload<P>>,
+}
+
+/// One node's heartbeat neighbour view: entries sorted by id in a small
+/// inline vector. Typical degree is ~10, so the whole table is one or
+/// two cache lines — a hello reception updates it with a binary search
+/// and a short memmove where a hash map would probe a scattered table,
+/// and that insert runs for every receiver of every hello on the air.
+/// Sorted order also makes reads naturally deterministic.
+#[derive(Clone, Default)]
+struct NeighborTable(Vec<(NodeId, SimTime)>);
+
+impl NeighborTable {
+    /// Inserts or refreshes `id`'s expiry.
+    fn insert(&mut self, id: NodeId, expiry: SimTime) {
+        match self.0.binary_search_by_key(&id, |&(n, _)| n) {
+            Ok(i) => self.0[i].1 = expiry,
+            Err(i) => self.0.insert(i, (id, expiry)),
+        }
+    }
+
+    /// Drops entries whose expiry is at or before `now`.
+    fn evict_expired(&mut self, now: SimTime) {
+        self.0.retain(|&(_, expiry)| expiry > now);
+    }
+
+    /// The earliest expiry of any entry (`SimTime::MAX` when empty).
+    fn min_expiry(&self) -> SimTime {
+        self.0
+            .iter()
+            .map(|&(_, expiry)| expiry)
+            .min()
+            .unwrap_or(SimTime::MAX)
+    }
+
+    /// Ids alive at `now`, in ascending id order.
+    fn alive_ids(&self, now: SimTime) -> Vec<NodeId> {
+        self.0
+            .iter()
+            .filter(|&&(_, expiry)| expiry > now)
+            .map(|&(id, _)| id)
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
 }
 
 /// The wireless ad hoc network: `n` nodes on a square area with the
@@ -140,9 +183,30 @@ pub struct Network<P> {
     scheduler: Scheduler<Event>,
     medium: Medium,
     grid: SpatialGrid,
-    nodes: Vec<NodeState>,
+    /// Per-node hot state in struct-of-arrays slabs: the PHY/MAC inner
+    /// loops touch positions and liveness for every candidate receiver,
+    /// and at n = 100k the packed layouts keep those sweeps
+    /// cache-resident where an array-of-structs would drag ACK bookkeeping
+    /// through the cache with every position read.
+    motions: Vec<Motion>,
+    alive: Vec<bool>,
+    ack_timeouts: Vec<Option<EventId>>,
+    /// Each node's position as last written to the spatial grid (same
+    /// write sites, same staleness bound). Candidate queries filter on
+    /// this 16-byte slab before paying for an exact [`Motion`]
+    /// interpolation — the grid's cell blocks over-approximate the query
+    /// disc several times over, and the rejected majority never needs an
+    /// exact position.
+    recorded_pos: Vec<Point>,
     macs: Vec<MacState<Payload<P>>>,
-    neighbors: Vec<FastMap<NodeId, SimTime>>,
+    neighbors: Vec<NeighborTable>,
+    /// Lower bound on each node's earliest neighbour-entry expiry.
+    /// The periodic eviction sweep skips a node while this bound lies in
+    /// the future — nothing can be expired, so the `retain` would remove
+    /// nothing and the map is left bit-identical. Refreshed entries make
+    /// the bound conservatively stale (it only ever under-estimates),
+    /// which costs a no-op sweep, never a wrong one.
+    neighbor_min_expiry: Vec<SimTime>,
     inflight: FastMap<u64, Inflight<P>>,
     next_tx_id: u64,
     mac_rng: StdRng,
@@ -172,8 +236,9 @@ impl<P: Clone> Network<P> {
         let cell = (config.phy.interference_range_m / 2.0).min(side).max(1.0);
         let mut grid = SpatialGrid::new(side, cell, config.n);
         let mut scheduler = Scheduler::new();
-        let mut nodes = Vec::with_capacity(config.n);
+        let mut motions = Vec::with_capacity(config.n);
         let mut macs = Vec::with_capacity(config.n);
+        let mut recorded_pos = Vec::with_capacity(config.n);
 
         let max_speed = match config.mobility {
             MobilityModel::Static => 0.0,
@@ -195,6 +260,7 @@ impl<P: Clone> Network<P> {
                 &mut mobility_rng,
             );
             grid.update(i as u32, p);
+            recorded_pos.push(p);
             if motion.next_transition() < SimTime::MAX {
                 scheduler.schedule_at(
                     motion.next_transition(),
@@ -203,11 +269,7 @@ impl<P: Clone> Network<P> {
                     },
                 );
             }
-            nodes.push(NodeState {
-                motion,
-                alive: true,
-                ack_timeout: None,
-            });
+            motions.push(motion);
             macs.push(MacState::new(config.mac.cw_min));
         }
 
@@ -234,8 +296,12 @@ impl<P: Clone> Network<P> {
             side,
             scheduler,
             grid,
-            neighbors: vec![FastMap::default(); config.n],
-            nodes,
+            neighbors: vec![NeighborTable::default(); config.n],
+            neighbor_min_expiry: vec![SimTime::MAX; config.n],
+            motions,
+            recorded_pos,
+            alive: vec![true; config.n],
+            ack_timeouts: vec![None; config.n],
             macs,
             inflight: FastMap::default(),
             next_tx_id: 0,
@@ -255,18 +321,31 @@ impl<P: Clone> Network<P> {
         net
     }
 
+    /// Queries the spatial grid for candidate pairs instead of scanning
+    /// all `n²` of them — at construction every node is in the grid at
+    /// its exact t=0 position, so the candidate superset needs no
+    /// mobility slack. Insertion order into the per-node tables does
+    /// not matter: a [`NeighborTable`] keeps itself id-sorted on every
+    /// insert.
     fn prepopulate_neighbors(&mut self) {
         let expiry = SimTime::ZERO
             + self.config.heartbeat_period * u64::from(self.config.heartbeat_expiry_cycles);
         let range = self.config.phy.ideal_range_m;
-        let positions: Vec<Point> = (0..self.nodes.len())
-            .map(|i| self.nodes[i].motion.position(SimTime::ZERO))
+        let positions: Vec<Point> = (0..self.motions.len())
+            .map(|i| self.motions[i].position(SimTime::ZERO))
             .collect();
-        for i in 0..positions.len() {
-            for j in (i + 1)..positions.len() {
-                if positions[i].distance(positions[j]) <= range {
+        for (i, &pi) in positions.iter().enumerate() {
+            for j in self.grid.nearby(pi, range) {
+                let j = j as usize;
+                // Each unordered pair once.
+                if j <= i {
+                    continue;
+                }
+                if pi.distance(positions[j]) <= range {
                     self.neighbors[i].insert(NodeId(j as u32), expiry);
                     self.neighbors[j].insert(NodeId(i as u32), expiry);
+                    self.neighbor_min_expiry[i] = self.neighbor_min_expiry[i].min(expiry);
+                    self.neighbor_min_expiry[j] = self.neighbor_min_expiry[j].min(expiry);
                 }
             }
         }
@@ -293,20 +372,18 @@ impl<P: Clone> Network<P> {
 
     /// Number of node slots (alive or not).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.motions.len()
     }
 
     /// Returns `true` if the node is currently up.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.nodes
-            .get(node.index())
-            .is_some_and(|state| state.alive)
+        self.alive.get(node.index()).copied().unwrap_or(false)
     }
 
     /// All currently alive nodes.
     pub fn alive_nodes(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].alive)
+        (0..self.motions.len())
+            .filter(|&i| self.alive[i])
             .map(|i| NodeId(i as u32))
             .collect()
     }
@@ -315,21 +392,16 @@ impl<P: Clone> Network<P> {
     /// (possibly stale under mobility — exactly the effect §6.2 studies).
     pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
         let now = self.now();
-        let mut out: Vec<NodeId> = self.neighbors[node.index()]
-            .iter()
-            .filter(|&(_, &expiry)| expiry > now)
-            .map(|(&id, _)| id)
-            .collect();
-        // Deterministic order: hash-map iteration order must never leak
-        // into protocol behaviour.
-        out.sort_unstable();
-        out
+        // Ascending id order: iteration order must never leak
+        // nondeterminism into protocol behaviour, and the table is
+        // id-sorted by construction.
+        self.neighbors[node.index()].alive_ids(now)
     }
 
     /// Ground-truth position (for diagnostics and verification only; the
     /// protocols never read this).
     pub fn position(&self, node: NodeId) -> Point {
-        self.nodes[node.index()].motion.position(self.now())
+        self.motions[node.index()].position(self.now())
     }
 
     /// Queues a data frame for transmission at the configured default
@@ -398,14 +470,15 @@ impl<P: Clone> Network<P> {
     /// Adds a brand-new node slot (initially down); pair with
     /// [`Network::schedule_join`].
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeState {
-            motion: Motion::stationary(Point::default(), self.now()),
-            alive: false,
-            ack_timeout: None,
-        });
+        let id = NodeId(self.motions.len() as u32);
+        self.motions
+            .push(Motion::stationary(Point::default(), self.now()));
+        self.alive.push(false);
+        self.ack_timeouts.push(None);
+        self.recorded_pos.push(Point::default());
         self.macs.push(MacState::new(self.config.mac.cw_min));
-        self.neighbors.push(FastMap::default());
+        self.neighbors.push(NeighborTable::default());
+        self.neighbor_min_expiry.push(SimTime::MAX);
         self.node_load.push(0);
         id
     }
@@ -450,7 +523,7 @@ impl<P: Clone> Network<P> {
                 }
             }
         }
-        let node_count = self.nodes.len();
+        let node_count = self.motions.len();
         self.faults = Some(FaultInjector::new(plan, self.config.seed, node_count));
     }
 
@@ -501,6 +574,14 @@ impl<P: Clone> Network<P> {
         &self.node_load
     }
 
+    /// Cumulative PHY admission/interference work: pending receptions
+    /// examined across all transmissions (see the phy module docs). The
+    /// scale bench divides this by events processed to verify the hot
+    /// path stays O(density), not O(n), as networks grow.
+    pub fn phy_work(&self) -> u64 {
+        self.medium.work()
+    }
+
     /// Nodes currently locked onto an in-flight transmission at the PHY.
     /// Exposed for the regression test that a crashed node is purged from
     /// the candidate grid at fail time and never re-admitted.
@@ -534,19 +615,19 @@ impl<P: Clone> Network<P> {
         let now = self.now();
         let range = self.config.phy.ideal_range_m;
         let search = range + self.grid_slack_m;
-        let mut g = pqs_graph::Graph::new(self.nodes.len());
-        for i in 0..self.nodes.len() {
-            if !self.nodes[i].alive {
+        let mut g = pqs_graph::Graph::new(self.motions.len());
+        for i in 0..self.motions.len() {
+            if !self.alive[i] {
                 continue;
             }
-            let pi = self.nodes[i].motion.position(now);
+            let pi = self.motions[i].position(now);
             for j in self.grid.nearby(pi, search) {
                 let j = j as usize;
                 // Each unordered pair once; dead nodes are not in the grid.
                 if j <= i {
                     continue;
                 }
-                if pi.distance(self.nodes[j].motion.position(now)) <= range {
+                if pi.distance(self.motions[j].position(now)) <= range {
                     g.add_edge(i, j);
                 }
             }
@@ -558,7 +639,7 @@ impl<P: Clone> Network<P> {
     /// Returns the number of events processed.
     pub fn run<S: Stack<P>>(&mut self, stack: &mut S, until: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(t) = self.scheduler.peek_time() {
+        while let Some(t) = self.scheduler.next_deadline() {
             if t > until {
                 break;
             }
@@ -580,9 +661,7 @@ impl<P: Clone> Network<P> {
     // ------------------------------------------------------------------
 
     fn position_now(&self, node: NodeId) -> Point {
-        self.nodes[node.index()]
-            .motion
-            .position(self.scheduler.now())
+        self.motions[node.index()].position(self.scheduler.now())
     }
 
     fn schedule_attempt_for_head(&mut self, node: NodeId) {
@@ -607,23 +686,37 @@ impl<P: Clone> Network<P> {
     }
 
     /// Collects candidate receivers around `pos` into `out`: all alive
-    /// nodes within the interference range (plus mobility slack), with
+    /// nodes within the reception range (plus mobility slack), with
     /// their exact positions. Dead nodes are removed from the grid at
     /// fail time, so a crashed node can never appear here even between
     /// grid refreshes.
     fn candidates_around(&self, sender: NodeId, pos: Point, out: &mut Vec<(u32, Point)>) {
         let now = self.scheduler.now();
-        let radius = self.config.phy.interference_range_m + self.grid_slack_m;
+        // Candidates only seed *new* receptions, and the admission loop
+        // drops anyone beyond the reception range with no side effects —
+        // interference with receptions already in progress is resolved
+        // inside the medium from its own receiver index. Querying at the
+        // (much larger) interference range would scan ~9× the area for
+        // candidates that can never admit.
+        let radius = self.config.phy.reception_range_m() + self.grid_slack_m;
+        let radius2 = radius * radius;
         out.clear();
         for id in self.grid.nearby(pos, radius) {
             if id == sender.0 {
                 continue;
             }
-            let state = &self.nodes[id as usize];
-            if !state.alive {
+            if !self.alive[id as usize] {
                 continue;
             }
-            out.push((id, state.motion.position(now)));
+            // Coarse rejection on the recorded position: the grid's cell
+            // block over-approximates the disc, and the slack-inflated
+            // radius already absorbs recorded-position staleness, so
+            // anyone recorded outside it is provably out of reception
+            // reach and needs no exact interpolation.
+            if self.recorded_pos[id as usize].distance_squared(pos) > radius2 {
+                continue;
+            }
+            out.push((id, self.motions[id as usize].position(now)));
         }
     }
 
@@ -788,8 +881,8 @@ impl<P: Clone> Network<P> {
             let fate = match self.faults.as_mut() {
                 Some(injector) => {
                     let now = self.scheduler.now();
-                    let sender_pos = self.nodes[sender.index()].motion.position(now);
-                    let rx_pos = self.nodes[rx.index()].motion.position(now);
+                    let sender_pos = self.motions[sender.index()].position(now);
+                    let rx_pos = self.motions[rx.index()].position(now);
                     let is_data = matches!(frame.kind, FrameKind::Data(_));
                     injector.frame_fate(now, self.side, frame.src, sender_pos, rx, rx_pos, is_data)
                 }
@@ -809,6 +902,8 @@ impl<P: Clone> Network<P> {
                         + self.config.heartbeat_period
                             * u64::from(self.config.heartbeat_expiry_cycles);
                     self.neighbors[rx.index()].insert(frame.src, expiry);
+                    self.neighbor_min_expiry[rx.index()] =
+                        self.neighbor_min_expiry[rx.index()].min(expiry);
                 }
                 FrameKind::Ack { for_seq } => {
                     if frame.dst == MacDst::Unicast(rx) {
@@ -888,7 +983,7 @@ impl<P: Clone> Network<P> {
                             seq: frame.seq,
                         },
                     );
-                    self.nodes[sender.index()].ack_timeout = Some(id);
+                    self.ack_timeouts[sender.index()] = Some(id);
                 }
                 (FrameKind::Data(_) | FrameKind::Hello, _) => {
                     // Broadcast data / hello: done after one transmission.
@@ -954,10 +1049,9 @@ impl<P: Clone> Network<P> {
 
     fn on_region_fail(&mut self, center: Point, radius_m: f64) -> Vec<Upcall<P>> {
         let now = self.scheduler.now();
-        let victims: Vec<NodeId> = (0..self.nodes.len())
+        let victims: Vec<NodeId> = (0..self.motions.len())
             .filter(|&i| {
-                self.nodes[i].alive
-                    && self.nodes[i].motion.position(now).distance(center) <= radius_m
+                self.alive[i] && self.motions[i].position(now).distance(center) <= radius_m
             })
             .map(|i| NodeId(i as u32))
             .collect();
@@ -970,10 +1064,9 @@ impl<P: Clone> Network<P> {
 
     fn on_region_recover(&mut self, center: Point, radius_m: f64) -> Vec<Upcall<P>> {
         let now = self.scheduler.now();
-        let healed: Vec<NodeId> = (0..self.nodes.len())
+        let healed: Vec<NodeId> = (0..self.motions.len())
             .filter(|&i| {
-                !self.nodes[i].alive
-                    && self.nodes[i].motion.position(now).distance(center) <= radius_m
+                !self.alive[i] && self.motions[i].position(now).distance(center) <= radius_m
             })
             .map(|i| NodeId(i as u32))
             .collect();
@@ -989,7 +1082,7 @@ impl<P: Clone> Network<P> {
         if mac.phase != (MacPhase::AwaitingAck { seq: for_seq }) {
             return Vec::new();
         }
-        if let Some(id) = self.nodes[node.index()].ack_timeout.take() {
+        if let Some(id) = self.ack_timeouts[node.index()].take() {
             self.scheduler.cancel(id);
         }
         let out = mac.finish_head(self.config.mac.cw_min).expect("head acked");
@@ -1014,7 +1107,7 @@ impl<P: Clone> Network<P> {
         if mac.phase != (MacPhase::AwaitingAck { seq }) {
             return Vec::new();
         }
-        self.nodes[node.index()].ack_timeout = None;
+        self.ack_timeouts[node.index()] = None;
         mac.retries += 1;
         if mac.retries >= mac_cfg.retry_limit {
             self.stats.mac_failures += 1;
@@ -1059,7 +1152,7 @@ impl<P: Clone> Network<P> {
             return Vec::new();
         }
         let now = self.scheduler.now();
-        let current = self.nodes[node.index()].motion.position(now);
+        let current = self.motions[node.index()].position(now);
         let mut mobility_rng = rng::entity_stream(
             self.config.seed,
             streams::MOBILITY,
@@ -1073,7 +1166,7 @@ impl<P: Clone> Network<P> {
             &mut mobility_rng,
         );
         let next = motion.next_transition();
-        self.nodes[node.index()].motion = motion;
+        self.motions[node.index()] = motion;
         self.scheduler
             .schedule_at(next, Event::MobilityLeg { node });
         Vec::new()
@@ -1081,16 +1174,23 @@ impl<P: Clone> Network<P> {
 
     fn on_grid_refresh(&mut self) -> Vec<Upcall<P>> {
         let now = self.scheduler.now();
-        for i in 0..self.nodes.len() {
-            if self.nodes[i].alive {
-                let p = self.nodes[i].motion.position(now);
+        for i in 0..self.motions.len() {
+            if self.alive[i] {
+                let p = self.motions[i].position(now);
                 self.grid.update(i as u32, p);
+                self.recorded_pos[i] = p;
             }
             // Evict expired heartbeat entries. Reads already filter on
             // expiry, so this never changes `neighbors()` — it only keeps
             // the maps bounded under churn and mobility (entries for
             // silent nodes otherwise linger until the node itself fails).
-            self.neighbors[i].retain(|_, &mut expiry| expiry > now);
+            // Sweeping every map every second is the refresh's dominant
+            // memory traffic at large n, so nodes whose earliest expiry
+            // is still ahead are skipped: their retain would be a no-op.
+            if self.neighbor_min_expiry[i] <= now {
+                self.neighbors[i].evict_expired(now);
+                self.neighbor_min_expiry[i] = self.neighbors[i].min_expiry();
+            }
         }
         self.scheduler
             .schedule_in(SimDuration::from_secs(1), Event::GridRefresh);
@@ -1101,12 +1201,13 @@ impl<P: Clone> Network<P> {
         if !self.is_alive(node) {
             return Vec::new();
         }
-        self.nodes[node.index()].alive = false;
-        if let Some(id) = self.nodes[node.index()].ack_timeout.take() {
+        self.alive[node.index()] = false;
+        if let Some(id) = self.ack_timeouts[node.index()].take() {
             self.scheduler.cancel(id);
         }
         self.grid.remove(node.0);
         self.neighbors[node.index()].clear();
+        self.neighbor_min_expiry[node.index()] = SimTime::MAX;
         let mut upcalls: Vec<Upcall<P>> = self.macs[node.index()]
             .drain_tokens()
             .into_iter()
@@ -1140,9 +1241,10 @@ impl<P: Clone> Network<P> {
             self.scheduler
                 .schedule_at(motion.next_transition(), Event::MobilityLeg { node });
         }
-        self.nodes[node.index()].motion = motion;
-        self.nodes[node.index()].alive = true;
+        self.motions[node.index()] = motion;
+        self.alive[node.index()] = true;
         self.grid.update(node.0, p);
+        self.recorded_pos[node.index()] = p;
         // Announce immediately, then on the regular cycle.
         self.scheduler
             .schedule_in(SimDuration::ZERO, Event::Heartbeat { node });

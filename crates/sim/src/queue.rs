@@ -1,8 +1,18 @@
 //! The time-ordered event queue.
+//!
+//! Since PR 8 the production [`EventQueue`] is a hierarchical timer wheel
+//! (Varghese–Lauck style): O(1) amortized schedule/cancel/pop instead of
+//! the `BinaryHeap`'s O(log n), which is what lets the simulator hold
+//! 100k nodes' worth of in-flight events without the scheduler becoming
+//! the bottleneck. The original heap-backed queue survives as
+//! [`HeapEventQueue`], a `#[doc(hidden)]` oracle that the property tests
+//! drive in lockstep with the wheel to prove the pop sequences are
+//! identical. See DESIGN.md §16 for the full design notes.
 
+use crate::hash::FastSet;
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Process-global source of queue identities. Every [`EventQueue`] mints
@@ -28,13 +38,15 @@ pub struct EventId {
 
 #[derive(Debug, Clone)]
 struct Entry<E> {
-    at: SimTime,
+    /// Firing time in microseconds (the raw [`SimTime`] value).
+    at: u64,
     seq: u64,
     event: E,
 }
 
-// Ordering: earliest time first; ties broken FIFO by sequence number. The
-// heap is a max-heap, so the comparison is reversed.
+// Ordering: earliest time first; ties broken FIFO by sequence number.
+// Used by the `past` side-heap (and by `HeapEventQueue`); both are
+// max-heaps, so the comparison is reversed.
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -52,18 +64,32 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// Heaps smaller than this are never compacted: the rebuild would cost
-/// more than the tombstones it reclaims.
-const COMPACT_MIN_HEAP: usize = 64;
+/// Number of wheel levels. Level `k` has 64 slots of width `64^k` µs, so
+/// six levels cover `64^6` µs ≈ 19 hours of simulated time ahead of
+/// `base`; anything further out waits in the unsorted overflow list.
+const LEVELS: usize = 6;
+/// log2 of the slots-per-level (64 slots ⇒ 6 bits of the timestamp per
+/// level).
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Horizon of the wheel: deltas at or beyond `64^LEVELS` µs from `base`
+/// go to the overflow list until the wheel turns far enough.
+const SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32);
 
-/// A deterministic, time-ordered event queue with cancellation.
+/// Queues storing fewer than this many entries are never compacted: the
+/// rebuild would cost more than the tombstones it reclaims.
+const COMPACT_MIN_STORED: usize = 64;
+
+/// A deterministic, time-ordered event queue with cancellation, backed by
+/// a hierarchical timer wheel.
 ///
 /// Events scheduled for the same instant are popped in the order they were
 /// scheduled (FIFO), which keeps simulations reproducible regardless of
-/// heap internals. Cancellation is lazy: a cancelled event stays in the
-/// heap until it reaches the front — but when tombstones outnumber live
-/// entries the heap is compacted in place, so a schedule/cancel storm
-/// (e.g. MAC defer churn) cannot grow the heap far beyond [`len`].
+/// the wheel's internals. Cancellation is lazy: a cancelled event stays in
+/// its slot until the wheel reaches it — but when tombstones outnumber
+/// live entries the storage is compacted in place, so a schedule/cancel
+/// storm (e.g. MAC defer churn) cannot grow the queue far beyond [`len`].
 ///
 /// Cloning a queue clones every pending event; the clone keeps the
 /// parent's identity, so [`EventId`]s minted before the clone cancel on
@@ -87,24 +113,68 @@ const COMPACT_MIN_HEAP: usize = 64;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// `LEVELS * SLOTS` slot deques, level-major (`level * SLOTS + slot`).
+    /// Invariant: every deque is sorted ascending by `(at, seq)` — direct
+    /// schedules append (their seq is the largest alive), cascades merge.
+    slots: Vec<VecDeque<Entry<E>>>,
+    /// One occupancy bit per slot, per level. A set bit may cover only
+    /// tombstones; a clear bit always means an empty deque.
+    occupied: [u64; LEVELS],
+    /// The wheel's origin: no wheel entry fires before `base`. Advanced
+    /// only by [`pop`](Self::pop) (to the next event's time or slot band)
+    /// — never beyond a stored entry, so slot membership stays stable.
+    base: u64,
+    /// Entries scheduled strictly before `base`. The raw queue has no
+    /// clock, so "past" schedules are legal; they are strictly earlier
+    /// than every wheel entry and drain first. Empty in practice (the
+    /// `Scheduler` clamps to `now`).
+    past: BinaryHeap<Entry<E>>,
+    /// Entries ≥ `SPAN` ahead of `base`, unsorted; reseated into the
+    /// wheel once `base` turns close enough.
+    overflow: Vec<Entry<E>>,
+    /// Minimum `at` over `overflow` (including tombstones); `u64::MAX`
+    /// when the list is empty.
+    overflow_min: u64,
     /// Sequence numbers of events that are scheduled and not yet popped or
-    /// cancelled. Makes `cancel` O(1); the heap entry of a cancelled event
-    /// is discarded lazily when it reaches the front (or in bulk by the
-    /// tombstone compaction).
-    pending: HashSet<u64>,
+    /// cancelled. Makes `cancel` O(1); the stored entry of a cancelled
+    /// event is discarded lazily when the wheel reaches it (or in bulk by
+    /// the tombstone compaction). Seed-free hashing: iteration order is
+    /// never observed, so determinism is unaffected.
+    pending: FastSet<u64>,
+    /// Total entries across slots + past + overflow; `stored -
+    /// pending.len()` is the tombstone count driving compaction.
+    stored: usize,
     next_seq: u64,
     /// This queue's identity, stamped into every [`EventId`] it mints so
     /// foreign ids are rejected instead of aliasing a local event.
     nonce: u64,
 }
 
+/// Inserts `entry` into a slot deque, keeping it sorted by `(at, seq)`.
+/// Direct schedules always take the `push_back` fast path (their seq is
+/// the maximum alive); only cascades and overflow reseats ever merge.
+fn slot_insert<E>(deque: &mut VecDeque<Entry<E>>, entry: Entry<E>) {
+    match deque.back() {
+        Some(b) if (b.at, b.seq) > (entry.at, entry.seq) => {
+            let pos = deque.partition_point(|e| (e.at, e.seq) < (entry.at, entry.seq));
+            deque.insert(pos, entry);
+        }
+        _ => deque.push_back(entry),
+    }
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; LEVELS],
+            base: 0,
+            past: BinaryHeap::new(),
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            pending: FastSet::default(),
+            stored: 0,
             next_seq: 0,
             nonce: NEXT_QUEUE_NONCE.fetch_add(1, AtomicOrdering::Relaxed),
         }
@@ -115,12 +185,41 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
         self.pending.insert(seq);
+        self.stored += 1;
+        self.insert_entry(Entry {
+            at: at.as_micros(),
+            seq,
+            event,
+        });
         EventId {
             queue: self.nonce,
             seq,
         }
+    }
+
+    /// Routes an entry to the past heap, a wheel slot, or the overflow
+    /// list according to its distance from `base`.
+    fn insert_entry(&mut self, entry: Entry<E>) {
+        let at = entry.at;
+        if at < self.base {
+            self.past.push(entry);
+            return;
+        }
+        let delta = at - self.base;
+        if delta >= SPAN {
+            self.overflow_min = self.overflow_min.min(at);
+            self.overflow.push(entry);
+            return;
+        }
+        let level = if delta == 0 {
+            0
+        } else {
+            ((63 - delta.leading_zeros()) / SLOT_BITS) as usize
+        };
+        let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        slot_insert(&mut self.slots[level * SLOTS + slot], entry);
+        self.occupied[level] |= 1 << slot;
     }
 
     /// Cancels a previously scheduled event.
@@ -140,40 +239,284 @@ impl<E> EventQueue<E> {
         cancelled
     }
 
-    /// Rebuilds the heap without its tombstones once they outnumber the
-    /// live entries. Pop order is unaffected: entries are totally ordered
-    /// by `(at, seq)`, so the heap's internal layout never shows through.
+    /// Rebuilds the storage without its tombstones once they outnumber the
+    /// live entries. Pop order is unaffected: slot deques retain their
+    /// relative order and entries never change slots.
     fn maybe_compact(&mut self) {
-        if self.heap.len() >= COMPACT_MIN_HEAP
-            && self.heap.len() - self.pending.len() > self.heap.len() / 2
-        {
-            let pending = &self.pending;
-            self.heap.retain(|entry| pending.contains(&entry.seq));
+        if self.stored < COMPACT_MIN_STORED || self.stored - self.pending.len() <= self.stored / 2 {
+            return;
         }
+        let pending = &self.pending;
+        for (level, bits) in self.occupied.iter_mut().enumerate() {
+            let mut occupied = 0u64;
+            for slot in 0..SLOTS {
+                let deque = &mut self.slots[level * SLOTS + slot];
+                deque.retain(|e| pending.contains(&e.seq));
+                if !deque.is_empty() {
+                    occupied |= 1 << slot;
+                }
+            }
+            *bits = occupied;
+        }
+        self.past.retain(|e| pending.contains(&e.seq));
+        self.overflow.retain(|e| pending.contains(&e.seq));
+        self.overflow_min = self.overflow.iter().map(|e| e.at).min().unwrap_or(u64::MAX);
+        self.stored = self.pending.len();
+    }
+
+    /// Drops every stored entry (they are all tombstones once `pending`
+    /// is empty) so a drained queue holds no memory of its churn. `base`,
+    /// `next_seq` and the nonce are preserved.
+    fn clear_storage(&mut self) {
+        if self.stored == 0 {
+            return;
+        }
+        for deque in &mut self.slots {
+            deque.clear();
+        }
+        self.occupied = [0; LEVELS];
+        self.past.clear();
+        self.overflow.clear();
+        self.overflow_min = u64::MAX;
+        self.stored = 0;
+    }
+
+    /// Moves every overflow entry within `SPAN` of `base` into the wheel,
+    /// dropping tombstones along the way.
+    fn reseat_due_overflow(&mut self) {
+        let mut kept = Vec::new();
+        let mut min = u64::MAX;
+        for entry in std::mem::take(&mut self.overflow) {
+            if !self.pending.contains(&entry.seq) {
+                self.stored -= 1;
+            } else if entry.at - self.base < SPAN {
+                self.insert_entry(entry);
+            } else {
+                min = min.min(entry.at);
+                kept.push(entry);
+            }
+        }
+        self.overflow = kept;
+        self.overflow_min = min;
+    }
+
+    /// Empties the slot at (`level`, `slot`) into the levels below it.
+    /// Caller guarantees `base` equals the slot's band start, so every
+    /// live entry lands strictly below `level` (or fires at `base`
+    /// itself, i.e. level 0's current slot).
+    fn cascade_slot(&mut self, level: usize, slot: usize) {
+        let mut deque = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+        self.occupied[level] &= !(1 << slot);
+        for entry in deque.drain(..) {
+            if self.pending.contains(&entry.seq) {
+                debug_assert!(entry.at >= self.base && entry.at - self.base < SPAN);
+                self.insert_entry(entry);
+            } else {
+                self.stored -= 1;
+            }
+        }
+    }
+
+    /// Finds the next slot the wheel must visit: the earliest level-0
+    /// instant and, per upper level, the earliest occupied band start.
+    /// Returns `(time, level, slot)`; the caller cascades if `level > 0`
+    /// (ties prefer the *highest* level so same-instant entries finish
+    /// cascading, in seq order, before any of them pops). At least one
+    /// occupancy bit must be set.
+    ///
+    /// Every entry in a slot provably shares one band (all stored times
+    /// lie in `[base, base + rotation)` for that level), so a slot's band
+    /// start is read off its front entry rather than inferred from the
+    /// cursor — inference goes wrong for the cursor slot itself, which
+    /// can hold either the band containing `base` (entries that became
+    /// due lazily) or a full rotation later.
+    fn find_next(&self) -> (u64, usize, usize) {
+        let mut best_t = u64::MAX;
+        let mut best_level = 0usize;
+        let mut best_slot = 0usize;
+        let cur0 = (self.base & (SLOTS as u64 - 1)) as u32;
+        let rot = self.occupied[0].rotate_right(cur0);
+        if rot != 0 {
+            let off = rot.trailing_zeros();
+            best_t = self.base + u64::from(off);
+            best_slot = ((cur0 + off) as usize) & (SLOTS - 1);
+        }
+        for level in 1..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * level as u32;
+            let band_mask = !((1u64 << shift) - 1);
+            let cur = ((self.base >> shift) & (SLOTS as u64 - 1)) as u32;
+            let band_start = |slot: usize| {
+                let front = self.slots[level * SLOTS + slot]
+                    .front()
+                    .expect("occupied slot is non-empty");
+                front.at & band_mask
+            };
+            // The cursor slot is either the earliest band at this level
+            // or the latest; every other occupied slot falls in circular
+            // cursor order, so the first of those is their minimum.
+            let mut t = u64::MAX;
+            let mut slot = 0usize;
+            if self.occupied[level] & (1 << cur) != 0 {
+                slot = cur as usize;
+                t = band_start(slot);
+            }
+            let rest = self.occupied[level] & !(1 << cur);
+            if rest != 0 {
+                let start = (cur + 1) & (SLOTS as u32 - 1);
+                let off = rest.rotate_right(start).trailing_zeros();
+                let s = (((start + off) & (SLOTS as u32 - 1)) as usize) & (SLOTS - 1);
+                let ts = band_start(s);
+                if ts < t {
+                    t = ts;
+                    slot = s;
+                }
+            }
+            if t <= best_t {
+                best_t = t;
+                best_level = level;
+                best_slot = slot;
+            }
+        }
+        (best_t, best_level, best_slot)
     }
 
     /// Removes and returns the earliest pending event with its firing time.
     ///
     /// Returns `None` when no live events remain.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
-                return Some((entry.at, entry.event));
-            }
+        if self.pending.is_empty() {
+            self.clear_storage();
+            return None;
         }
-        None
+        // Past entries (scheduled before `base`) are strictly earlier
+        // than everything in the wheel, so they drain first.
+        while let Some(top) = self.past.peek() {
+            if self.pending.contains(&top.seq) {
+                let entry = self.past.pop().expect("peeked entry exists");
+                self.stored -= 1;
+                self.pending.remove(&entry.seq);
+                return Some((SimTime::from_micros(entry.at), entry.event));
+            }
+            self.past.pop();
+            self.stored -= 1;
+        }
+        loop {
+            if self.occupied == [0; LEVELS] {
+                if self.overflow.is_empty() {
+                    // pending is non-empty, so a live entry must be stored
+                    // somewhere; reaching here would be a bookkeeping bug.
+                    debug_assert!(false, "live events pending but none stored");
+                    return None;
+                }
+                // The wheel is idle: jump straight to the overflow's
+                // earliest entry instead of turning through empty spans.
+                self.base = self.base.max(self.overflow_min);
+                self.reseat_due_overflow();
+                continue;
+            }
+            if !self.overflow.is_empty() && self.overflow_min - self.base < SPAN {
+                self.reseat_due_overflow();
+            }
+            let (t, level, slot) = self.find_next();
+            // An upper level's band start can lie at or before `base`
+            // (entries that became due while lower levels were busy);
+            // `base` itself never moves backwards.
+            self.base = self.base.max(t);
+            if level > 0 {
+                self.cascade_slot(level, slot);
+                continue;
+            }
+            let deque = &mut self.slots[slot];
+            while let Some(entry) = deque.pop_front() {
+                self.stored -= 1;
+                if self.pending.remove(&entry.seq) {
+                    if deque.is_empty() {
+                        self.occupied[0] &= !(1 << slot);
+                    }
+                    return Some((SimTime::from_micros(entry.at), entry.event));
+                }
+            }
+            // The slot held only tombstones; keep turning.
+            self.occupied[0] &= !(1 << slot);
+        }
     }
 
     /// Returns the firing time of the earliest pending event without
-    /// removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
-                return Some(entry.at);
-            }
-            self.heap.pop();
+    /// removing it — and without mutating the queue, so read-only
+    /// deadline probes no longer force an exclusive borrow.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        if self.pending.is_empty() {
+            return None;
         }
-        None
+        let mut best = u64::MAX;
+        let mut found = false;
+        for entry in self.past.iter() {
+            if self.pending.contains(&entry.seq) {
+                best = best.min(entry.at);
+                found = true;
+            }
+        }
+        for level in 0..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            // Walk occupied slots in circular (= chronological) order;
+            // the first slot holding a live entry yields this level's
+            // minimum, because slot deques are sorted by `(at, seq)`.
+            // Above level 0 the cursor slot sits outside that order (it
+            // holds either the earliest band or the latest), so it is
+            // probed separately and min-merged.
+            let shift = SLOT_BITS * level as u32;
+            let cur = ((self.base >> shift) & (SLOTS as u64 - 1)) as u32;
+            let live_min = |slot: usize| {
+                self.slots[level * SLOTS + slot]
+                    .iter()
+                    .find(|e| self.pending.contains(&e.seq))
+                    .map(|e| e.at)
+            };
+            let mut bits = self.occupied[level];
+            let start = if level == 0 {
+                cur
+            } else {
+                if bits & (1 << cur) != 0 {
+                    if let Some(at) = live_min(cur as usize) {
+                        best = best.min(at);
+                        found = true;
+                    }
+                    bits &= !(1 << cur);
+                }
+                (cur + 1) & (SLOTS as u32 - 1)
+            };
+            let mut rot = bits.rotate_right(start);
+            while rot != 0 {
+                let off = rot.trailing_zeros();
+                let slot = ((start + off) & (SLOTS as u32 - 1)) as usize;
+                if let Some(at) = live_min(slot) {
+                    best = best.min(at);
+                    found = true;
+                    break;
+                }
+                rot &= rot - 1;
+            }
+        }
+        for entry in &self.overflow {
+            if self.pending.contains(&entry.seq) {
+                best = best.min(entry.at);
+                found = true;
+            }
+        }
+        debug_assert!(found, "pending non-empty but no live entry stored");
+        found.then(|| SimTime::from_micros(best))
+    }
+
+    /// Returns the firing time of the earliest pending event without
+    /// removing it. Alias of [`next_deadline`](Self::next_deadline),
+    /// kept for callers that already hold `&mut self`.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.next_deadline()
     }
 
     /// Returns the number of pending (non-cancelled) events.
@@ -185,9 +528,112 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// Total stored entries including tombstones — the compaction
+    /// bookkeeping, exposed for the storm tests.
+    #[cfg(test)]
+    fn stored_entries(&self) -> usize {
+        self.stored
+    }
 }
 
 impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The pre-PR 8 `BinaryHeap`-backed event queue, kept verbatim as a
+/// differential-testing oracle: trivially correct by its total `(at,
+/// seq)` ordering, and driven in lockstep with the timer wheel by the
+/// property tests. Not part of the public API.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    pending: FastSet<u64>,
+    next_seq: u64,
+    nonce: u64,
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapEventQueue {
+            heap: BinaryHeap::new(),
+            pending: FastSet::default(),
+            next_seq: 0,
+            nonce: NEXT_QUEUE_NONCE.fetch_add(1, AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Schedules `event` at `at`; same contract as
+    /// [`EventQueue::schedule`].
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at: at.as_micros(),
+            seq,
+            event,
+        });
+        self.pending.insert(seq);
+        EventId {
+            queue: self.nonce,
+            seq,
+        }
+    }
+
+    /// Cancels a pending event; same contract as
+    /// [`EventQueue::cancel`].
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.queue != self.nonce {
+            return false;
+        }
+        let cancelled = self.pending.remove(&id.seq);
+        if cancelled
+            && self.heap.len() >= COMPACT_MIN_STORED
+            && self.heap.len() - self.pending.len() > self.heap.len() / 2
+        {
+            let pending = &self.pending;
+            self.heap.retain(|entry| pending.contains(&entry.seq));
+        }
+        cancelled
+    }
+
+    /// Removes and returns the earliest pending event; same contract as
+    /// [`EventQueue::pop`].
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((SimTime::from_micros(entry.at), entry.event));
+            }
+        }
+        None
+    }
+
+    /// Earliest pending firing time without removal or mutation.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|e| self.pending.contains(&e.seq))
+            .map(|e| e.at)
+            .min()
+            .map(SimTime::from_micros)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -243,6 +689,33 @@ mod tests {
     }
 
     #[test]
+    fn next_deadline_is_readonly_and_agrees_with_pop() {
+        let mut q = EventQueue::new();
+        for i in 0..200u64 {
+            let id = q.schedule(SimTime::from_micros(i % 29 * 1000), i);
+            if i % 5 == 0 {
+                q.cancel(id);
+            }
+        }
+        // Heavy peeking between pops must not change what pops.
+        let mut reference = q.clone();
+        let mut peeked = Vec::new();
+        let mut popped = Vec::new();
+        while let Some(deadline) = q.next_deadline() {
+            for _ in 0..3 {
+                assert_eq!(q.next_deadline(), Some(deadline));
+            }
+            let (at, e) = q.pop().expect("deadline implies a live event");
+            assert_eq!(at, deadline);
+            peeked.push((at, e));
+        }
+        while let Some(p) = reference.pop() {
+            popped.push(p);
+        }
+        assert_eq!(peeked, popped, "peeking perturbed pop order");
+    }
+
+    #[test]
     fn cancel_foreign_id_is_false() {
         let mut q1: EventQueue<()> = EventQueue::new();
         let mut q2 = EventQueue::new();
@@ -295,23 +768,23 @@ mod tests {
     }
 
     #[test]
-    fn tombstone_storm_keeps_heap_bounded() {
+    fn tombstone_storm_keeps_storage_bounded() {
         let mut q = EventQueue::new();
         // A few long-lived events keep the queue non-trivial.
         for i in 0..10u64 {
             q.schedule(SimTime::from_secs(1000 + i), i as i64);
         }
         // Storm: schedule far-future events and cancel them immediately,
-        // so none ever reaches the front for lazy reclamation.
+        // so none is ever reached for lazy reclamation.
         for i in 0..100_000 {
             let id = q.schedule(SimTime::from_secs(2000), i);
             assert!(q.cancel(id));
         }
         assert_eq!(q.len(), 10);
         assert!(
-            q.heap.len() <= 2 * COMPACT_MIN_HEAP,
-            "heap grew to {} entries under a cancel storm of 100k",
-            q.heap.len()
+            q.stored_entries() <= 2 * COMPACT_MIN_STORED,
+            "storage grew to {} entries under a cancel storm of 100k",
+            q.stored_entries()
         );
         // Live events are all still there, in order.
         let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
@@ -347,5 +820,105 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
         assert_eq!(q.peek_time(), None);
+        assert_eq!(q.next_deadline(), None);
+    }
+
+    #[test]
+    fn past_schedules_fire_before_wheel_entries() {
+        // The raw queue has no clock: after popping at t=100s, scheduling
+        // at t=1s is legal and must still fire before anything later.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(100), "now");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(100), "now")));
+        q.schedule(SimTime::from_secs(200), "future");
+        q.schedule(SimTime::from_secs(1), "past");
+        q.schedule(SimTime::from_secs(2), "past-2");
+        assert_eq!(q.next_deadline(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "past")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "past-2")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(200), "future")));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_horizon() {
+        let mut q = EventQueue::new();
+        // One event beyond the wheel span, a sentinel at the far end of
+        // time, and near-term traffic.
+        q.schedule(SimTime::from_micros(SPAN + 5), "beyond-span");
+        q.schedule(SimTime::MAX, "sentinel");
+        q.schedule(SimTime::from_micros(10), "near");
+        assert_eq!(q.next_deadline(), Some(SimTime::from_micros(10)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(10), "near")));
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_micros(SPAN + 5), "beyond-span"))
+        );
+        assert_eq!(q.next_deadline(), Some(SimTime::MAX));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "sentinel")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_fifo_survives_cascades() {
+        // Schedule an event far enough out to sit in an upper level, then
+        // (after the wheel turns close) a same-instant event that lands in
+        // level 0 directly. The earlier seq must still pop first.
+        let target = 1_000_000u64;
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(target), "first");
+        q.schedule(SimTime::from_micros(target - 3000), "mover");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("mover"));
+        // The wheel's base is now close to `target`; this lands in a
+        // lower level than "first".
+        q.schedule(SimTime::from_micros(target), "second");
+        assert_eq!(q.pop(), Some((SimTime::from_micros(target), "first")));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(target), "second")));
+    }
+
+    #[test]
+    fn wheel_matches_heap_oracle_on_dense_workload() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut wheel_ids = Vec::new();
+        let mut heap_ids = Vec::new();
+        // Deterministic pseudo-random mix of schedules, cancels and pops
+        // spanning all wheel levels and the overflow list.
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for step in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match x % 10 {
+                0..=5 => {
+                    // Bias towards near times, with occasional far tails.
+                    let at = match x % 7 {
+                        0 => (x >> 8) % (SPAN * 2),
+                        1..=2 => (x >> 8) % 100_000_000,
+                        _ => (x >> 8) % 5_000,
+                    };
+                    let at = SimTime::from_micros(at);
+                    wheel_ids.push(wheel.schedule(at, step));
+                    heap_ids.push(heap.schedule(at, step));
+                }
+                6..=7 => {
+                    if !wheel_ids.is_empty() {
+                        let i = (x >> 16) as usize % wheel_ids.len();
+                        assert_eq!(wheel.cancel(wheel_ids[i]), heap.cancel(heap_ids[i]));
+                    }
+                }
+                _ => {
+                    assert_eq!(wheel.pop(), heap.pop());
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+            assert_eq!(wheel.next_deadline(), heap.next_deadline());
+        }
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
     }
 }

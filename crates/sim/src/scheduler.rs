@@ -88,8 +88,19 @@ impl<E> Scheduler<E> {
     }
 
     /// Returns the firing time of the next event without removing it.
+    ///
+    /// Unlike the older [`peek_time`](Self::peek_time) this takes
+    /// `&self`: probing the deadline is read-only and never perturbs pop
+    /// order, so it composes with shared borrows of the simulation.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.queue.next_deadline()
+    }
+
+    /// Returns the firing time of the next event without removing it.
+    /// Alias of [`next_deadline`](Self::next_deadline) for callers that
+    /// already hold `&mut self`.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.queue.peek_time()
+        self.queue.next_deadline()
     }
 
     /// Returns the number of pending events.
@@ -132,7 +143,7 @@ pub trait Simulate {
 pub fn run_until<S: Simulate>(sim: &mut S, end: SimTime) -> u64 {
     let mut processed = 0;
     loop {
-        match sim.scheduler_mut().peek_time() {
+        match sim.scheduler_mut().next_deadline() {
             Some(at) if at <= end => {
                 let (_, event) = sim.scheduler_mut().pop().expect("peeked event exists");
                 sim.handle(event);

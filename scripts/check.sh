@@ -69,6 +69,16 @@ PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 \
 diff "$seq_dir/fig_byzantine.json" "$par_dir/fig_byzantine.json" \
     || { echo "fig_byzantine.json differs between PQS_JOBS=1 and 2"; exit 1; }
 
+echo "==> scale sweep: fig_scale smoke, sidecar carries throughput + peak RSS"
+scale_dir="$(mktemp -d)"
+PQS_BENCH_DIR="$scale_dir" PQS_SIZES=2000 \
+    cargo run --release -q -p pqs-bench --bin fig_scale >/dev/null
+grep -q '"events_per_sec":' "$scale_dir/fig_scale.perf.json" \
+    || { echo "fig_scale.perf.json: missing events_per_sec"; rm -rf "$scale_dir"; exit 1; }
+grep -q '"peak_rss_bytes":' "$scale_dir/fig_scale.perf.json" \
+    || { echo "fig_scale.perf.json: missing peak_rss_bytes"; rm -rf "$scale_dir"; exit 1; }
+rm -rf "$scale_dir"
+
 echo "==> perf sidecars: pool_width >= 1 and PQS_JOBS provenance recorded"
 for sidecar in bench_results/*.perf.json; do
     [[ -e "$sidecar" ]] || continue
@@ -121,6 +131,22 @@ if [[ $quick -eq 0 ]]; then
 
     echo "==> criterion smoke: phy churn micro-bench"
     cargo bench -p pqs-bench --bench phy >/dev/null
+
+    echo "==> full-suite export diff: every bench vs committed bench_results"
+    full_dir="$(mktemp -d)"
+    for bin in crates/bench/src/bin/*.rs; do
+        name="$(basename "$bin" .rs)"
+        [[ "$name" == "bench_summary" ]] && continue
+        PQS_BENCH_DIR="$full_dir" \
+            cargo run --release -q -p pqs-bench --bin "$name" >/dev/null
+    done
+    for export in bench_results/*.json; do
+        base="$(basename "$export")"
+        [[ "$base" == *.perf.json ]] && continue
+        diff "$export" "$full_dir/$base" \
+            || { echo "$base differs from the committed export"; rm -rf "$full_dir"; exit 1; }
+    done
+    rm -rf "$full_dir"
 fi
 
 echo "==> all checks passed"
