@@ -102,6 +102,7 @@ fn main() -> ExitCode {
     let count = reports.len();
     let skipped_count = skipped.len();
     let (regressions, new_benches) = compare_to_baseline(&baseline, &perf_entries);
+    let vanished = vanished_benches(&baseline, &perf_entries);
     let mut summary = JsonValue::object([
         ("results_dir", JsonValue::from(dir.display().to_string())),
         ("report_count", JsonValue::from(count)),
@@ -120,6 +121,22 @@ fn main() -> ExitCode {
                 "new_benches",
                 JsonValue::array(new_benches.iter().map(|n| JsonValue::from(n.as_str()))),
             );
+        }
+        if !vanished.is_empty() {
+            perf.insert(
+                "vanished_benches",
+                JsonValue::array(vanished.iter().map(|n| JsonValue::from(n.as_str()))),
+            );
+        }
+        // The serve-throughput headline (real-socket KV service): folded
+        // out of its sidecar so ops/sec and latency percentiles are
+        // visible at the summary level. Absent when serve_load has not
+        // run — that shows up via the new/vanished path, never an error.
+        if let Some(serve) = perf_entries
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("serve_throughput"))
+        {
+            perf.insert("serve", fold_serve(serve));
         }
         summary.insert("perf", perf);
     }
@@ -142,6 +159,9 @@ fn main() -> ExitCode {
     if !baseline.is_empty() {
         for name in &new_benches {
             eprintln!("warning: bench {name} has no baseline entry; recorded as new, not gated");
+        }
+        for name in &vanished {
+            eprintln!("warning: bench {name} is in the baseline but produced no sidecar this run");
         }
     }
     if regressions.is_empty() {
@@ -225,6 +245,43 @@ fn compare_to_baseline(
     regressions.sort();
     new_benches.sort();
     (regressions, new_benches)
+}
+
+/// Benches present in the baseline that produced no sidecar this run —
+/// the opposite direction of `new_benches`. A vanished bench warns (its
+/// wall-clock silently leaving the gate would otherwise look like a
+/// speedup) but never fails the run.
+fn vanished_benches(baseline: &HashMap<String, u64>, fresh: &[JsonValue]) -> Vec<String> {
+    let fresh_names: Vec<&str> = fresh
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+        .collect();
+    let mut vanished: Vec<String> = baseline
+        .keys()
+        .filter(|name| !fresh_names.contains(&name.as_str()))
+        .cloned()
+        .collect();
+    vanished.sort();
+    vanished
+}
+
+/// The headline serve-throughput numbers from its `.perf.json` sidecar:
+/// ops/sec and put/get latency percentiles, whichever are present.
+fn fold_serve(sidecar: &JsonValue) -> JsonValue {
+    let mut out = JsonValue::object(Vec::<(String, JsonValue)>::new());
+    for key in [
+        "ops_per_sec",
+        "put_p50_us",
+        "put_p99_us",
+        "get_p50_us",
+        "get_p99_us",
+        "wall_ms",
+    ] {
+        if let Some(v) = sidecar.get(key) {
+            out.insert(key, v.clone());
+        }
+    }
+    out
 }
 
 fn file_name(path: &Path) -> String {
@@ -317,6 +374,43 @@ mod tests {
         assert_eq!(regressions.len(), 1, "only the >20% bench trips the gate");
         assert!(regressions[0].starts_with("fig_slow:"), "{regressions:?}");
         assert!(new_benches.is_empty());
+    }
+
+    #[test]
+    fn vanished_bench_is_warned_not_gated() {
+        let baseline = HashMap::from([
+            ("fig_old".to_string(), 1_000u64),
+            ("serve_throughput".to_string(), 2_000u64),
+        ]);
+        let fresh = vec![sidecar("fig_old", 1_000)];
+        let (regressions, new_benches) = compare_to_baseline(&baseline, &fresh);
+        assert!(regressions.is_empty());
+        assert!(new_benches.is_empty());
+        assert_eq!(
+            vanished_benches(&baseline, &fresh),
+            vec!["serve_throughput".to_string()]
+        );
+    }
+
+    #[test]
+    fn serve_fold_takes_known_keys_and_tolerates_missing_ones() {
+        let mut sc = sidecar("serve_throughput", 1_500);
+        sc.insert("ops_per_sec", JsonValue::from(54_000.5));
+        sc.insert("get_p50_us", JsonValue::from(440u64));
+        sc.insert("get_p99_us", JsonValue::from(544u64));
+        sc.insert("pool_width", JsonValue::from(8u64)); // not a headline
+        let folded = fold_serve(&sc);
+        assert_eq!(
+            folded.get("ops_per_sec").and_then(|v| v.as_f64()),
+            Some(54_000.5)
+        );
+        assert_eq!(folded.get("get_p99_us").and_then(|v| v.as_u64()), Some(544));
+        assert_eq!(folded.get("wall_ms").and_then(|v| v.as_u64()), Some(1_500));
+        assert!(
+            folded.get("put_p50_us").is_none(),
+            "absent keys stay absent"
+        );
+        assert!(folded.get("pool_width").is_none());
     }
 
     #[test]

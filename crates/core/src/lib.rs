@@ -15,6 +15,10 @@
 //!   RANDOM, RANDOM-OPT, PATH, UNIQUE-PATH, FLOODING — plus RW salvation,
 //!   reply-path reduction, reply-path local repair, early halting,
 //!   caching and promiscuous replies,
+//! - [`transport`] / [`wire`] / [`endpoint`]: the transport seam — the
+//!   RANDOM-strategy engine factored out of [`stack`] so the same
+//!   protocol runs over the simulated MAC ([`simhost`]), deterministic
+//!   in-process links ([`loopback`]), or real UDP sockets (`pqs-serve`),
 //! - [`estimator`]: network-size estimation from walk collisions (§6.3),
 //! - [`workload`] / [`runner`]: the paper's simulation scenarios and the
 //!   multi-seed experiment runner.
@@ -52,7 +56,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod endpoint;
 pub mod estimator;
+pub mod loopback;
 pub mod membership;
 pub mod messages;
 pub mod obs;
@@ -60,11 +66,16 @@ pub mod pubsub;
 pub mod register;
 pub mod runner;
 pub mod service;
+pub mod simhost;
 pub mod spec;
 pub mod stack;
 pub mod store;
+pub mod transport;
+pub mod wire;
 pub mod workload;
 
+pub use endpoint::{Completion, EndpointConfig, EndpointCounters, QuorumEndpoint};
+pub use loopback::{LinkFaults, LoopbackConfig, LoopbackNet};
 pub use membership::Membership;
 pub use messages::{AppMsg, OpId};
 pub use obs::{HoldReason, LoadSummary, TraceEvent};
@@ -75,6 +86,8 @@ pub use runner::{
 pub use service::{
     Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, RetryPolicy, ServiceConfig,
 };
+pub use simhost::{SimHost, WireNet};
 pub use spec::{AccessStrategy, BiquorumSpec, QuorumSpec};
 pub use stack::{QuorumNet, QuorumStack, ReconfigureError};
 pub use store::{Key, Role, Store, Value};
+pub use transport::{Datagram, OpStatus, QueuedTransport, Transport, WireMsg};

@@ -1,0 +1,131 @@
+//! Graceful-drain coverage over the loopback transport: a draining node
+//! finishes its in-flight operations, keeps serving peers, refuses new
+//! client operations, and its counters conserve
+//! (`requests = issued + refused`, `issued = completed_ok + completed_failed`).
+
+use pqs_core::endpoint::EndpointConfig;
+use pqs_core::loopback::{LinkFaults, LoopbackConfig, LoopbackNet};
+use pqs_net::NodeId;
+use pqs_sim::{SimDuration, SimTime};
+
+fn net(nodes: usize, seed: u64) -> LoopbackNet {
+    LoopbackNet::new(LoopbackConfig {
+        nodes,
+        seed,
+        endpoint: EndpointConfig::new(3, 3),
+        link_delay: SimDuration::from_micros(500),
+        faults: LinkFaults::none(),
+    })
+}
+
+#[test]
+fn drain_answers_inflight_and_refuses_new() {
+    let mut net = net(10, 9);
+
+    // Seed a key so the in-flight lookup can actually succeed.
+    net.advertise(NodeId(4), 77, 770).expect("accepted");
+    net.run_idle();
+    assert!(net.take_completions(NodeId(4))[0].ok);
+
+    // Pick an origin that did not receive the placement, so its lookup
+    // must cross the network (a local hit would complete synchronously
+    // via the §8.3 origin-in-own-quorum path and leave nothing in
+    // flight to drain).
+    let origin = (0..10u32)
+        .map(NodeId)
+        .find(|&n| n != NodeId(4) && net.endpoint(n).store().lookup(77).is_none())
+        .expect("qa = 3 of 10 leaves non-holders");
+
+    // Issue a lookup and drain *before* any reply can arrive (replies
+    // need a full round trip; nothing has been delivered yet).
+    net.lookup(origin, 77).expect("accepted before drain");
+    net.begin_drain(origin);
+    assert!(net.endpoint(origin).is_draining());
+    assert!(
+        !net.endpoint(origin).drained(),
+        "in-flight lookup still open"
+    );
+
+    // New client ops are refused while draining.
+    assert!(net.lookup(origin, 77).is_none());
+    assert!(net.advertise(origin, 1, 2).is_none());
+
+    // The in-flight lookup still completes.
+    net.run_idle();
+    assert!(net.endpoint(origin).drained());
+    let done = net.take_completions(origin);
+    assert_eq!(done.len(), 1, "exactly the pre-drain op completed");
+
+    let c = net.endpoint(origin).counters();
+    assert_eq!(c.requests, 3);
+    assert_eq!(c.refused, 2);
+    let issued = c.advertises_issued + c.lookups_issued;
+    assert_eq!(
+        c.requests,
+        issued + c.refused,
+        "requests = issued + refused"
+    );
+    assert_eq!(
+        issued,
+        c.completed_ok + c.completed_failed,
+        "issued = completed + open, and open = 0 after drain"
+    );
+}
+
+#[test]
+fn draining_node_still_serves_peer_quorum_traffic() {
+    let mut net = net(6, 21);
+    // Drain every node but the advertiser: with qa = 3 of 5 peers all
+    // sampled peers are draining, yet the advertise must still complete
+    // because draining nodes keep serving Store/LookupReq.
+    for n in 1..6 {
+        net.begin_drain(NodeId(n));
+    }
+    net.advertise(NodeId(0), 5, 50).expect("accepted");
+    net.run_idle();
+    assert!(net.take_completions(NodeId(0))[0].ok);
+
+    let served: u64 = (1..6)
+        .map(|n| net.endpoint(NodeId(n)).counters().stores_served)
+        .sum();
+    assert_eq!(served, 3, "draining peers served the store placements");
+    for n in 1..6 {
+        assert!(net.endpoint(NodeId(n)).drained(), "no local ops were open");
+    }
+}
+
+#[test]
+fn drain_conservation_under_lossy_links() {
+    // Drops force retries and failures; conservation must hold anyway.
+    let mut net = LoopbackNet::new(LoopbackConfig {
+        nodes: 8,
+        seed: 33,
+        endpoint: EndpointConfig::new(4, 4),
+        link_delay: SimDuration::from_micros(500),
+        faults: LinkFaults {
+            drop_prob: 0.4,
+            delay_prob: 0.2,
+            max_extra_delay: SimDuration::from_millis(30),
+        },
+    });
+    for i in 0..20u64 {
+        net.advertise(NodeId((i % 8) as u32), i, i * 3);
+        net.run_until(SimTime::from_millis(200 * (i + 1)));
+    }
+    for i in 0..20u64 {
+        net.lookup(NodeId(((i + 3) % 8) as u32), i);
+    }
+    for n in 0..8 {
+        net.begin_drain(NodeId(n));
+    }
+    net.run_idle();
+    for n in 0..8 {
+        let e = net.endpoint(NodeId(n));
+        assert!(e.drained(), "node {n} drained");
+        let c = e.counters();
+        let issued = c.advertises_issued + c.lookups_issued;
+        assert_eq!(c.requests, issued + c.refused);
+        assert_eq!(issued, c.completed_ok + c.completed_failed);
+    }
+    assert!(net.stats().dropped > 0, "loss actually exercised");
+}

@@ -2,7 +2,7 @@
 //! reduction, serial probing, caching roles, and the size estimator in
 //! the protocol context.
 
-use pqs_core::runner::{run_scenario, ScenarioConfig};
+use pqs_core::runner::ScenarioConfig;
 use pqs_core::spec::{AccessStrategy, QuorumSpec};
 use pqs_core::workload::WorkloadConfig;
 use pqs_core::{Fanout, OpKind, QuorumNet, QuorumStack, Role};
@@ -25,8 +25,7 @@ fn reply_path_reduction_shortens_replies() {
         let mut cfg = ScenarioConfig::paper(150);
         cfg.workload = WorkloadConfig::small(10, 60);
         cfg.service.reply_path_reduction = reduce;
-        let agg = pqs_core::runner::aggregate(&pqs_core::run_seeds(&cfg, &[21, 22, 23]));
-        agg
+        pqs_core::runner::aggregate(&pqs_core::run_seeds(&cfg, &[21, 22, 23]))
     };
     let with = runs(true);
     let without = runs(false);

@@ -1,0 +1,150 @@
+//! Sim-vs-loopback transport equivalence: the same `QuorumEndpoint`
+//! engine, driven by the same seeds over the same op sequence, must
+//! produce the same protocol outcomes whether its messages travel the
+//! simulated MAC + AODV substrate or the deterministic in-process
+//! loopback links. Latencies and attempt counts may differ (the MAC has
+//! contention and multi-hop delay); the protocol-level outcome of every
+//! operation — kind, key, success, value — must not.
+
+use pqs_core::endpoint::EndpointConfig;
+use pqs_core::loopback::{LinkFaults, LoopbackConfig, LoopbackNet};
+use pqs_core::service::{ByzPolicy, RetryPolicy};
+use pqs_core::simhost::{SimHost, WireNet};
+use pqs_core::store::{Key, Value};
+use pqs_net::{MobilityModel, NetConfig, Network, NodeId};
+use pqs_sim::{SimDuration, SimTime};
+
+const N: usize = 16;
+const SEED: u64 = 1234;
+
+/// One scripted client operation: `(origin, key, value)`; `value = None`
+/// is a lookup.
+type ScriptOp = (u32, Key, Option<Value>);
+
+/// A deterministic script: every node advertises one key, then a
+/// shifted set of nodes looks each key up (never the advertiser, so
+/// every hit crosses the network).
+fn script() -> Vec<ScriptOp> {
+    let mut ops = Vec::new();
+    for k in 0..N as u32 {
+        ops.push((k, u64::from(k) + 100, Some(u64::from(k) * 1_000 + 7)));
+    }
+    for k in 0..N as u32 {
+        ops.push(((k + 5) % N as u32, u64::from(k) + 100, None));
+    }
+    ops
+}
+
+fn endpoint_cfg(qa: usize, ql: usize) -> EndpointConfig {
+    EndpointConfig {
+        qa,
+        ql,
+        retry: RetryPolicy::default_policy(),
+        byz: ByzPolicy::trusting(),
+    }
+}
+
+/// A fully connected static network: tiny area relative to radio range,
+/// neighbour tables prepopulated, no mobility — the substrate differs
+/// from loopback in timing and framing, not reachability.
+fn sim_net() -> WireNet {
+    let mut cfg = NetConfig::paper(N);
+    cfg.avg_degree = 120.0;
+    cfg.mobility = MobilityModel::Static;
+    cfg.prepopulate_neighbors = true;
+    cfg.seed = SEED;
+    Network::new(cfg)
+}
+
+/// Outcome rows `(node, op, kind_is_lookup, key, ok, value)` sorted for
+/// comparison.
+type Outcome = (u32, u64, bool, Key, bool, Option<Value>);
+
+fn op_time(i: usize) -> SimTime {
+    SimTime::from_secs(2 * (i as u64 + 1))
+}
+
+fn run_sim(cfg: EndpointConfig) -> Vec<Outcome> {
+    let mut net = sim_net();
+    let mut host = SimHost::new(&net, cfg, SEED);
+    let ops = script();
+    for (i, &(node, key, value)) in ops.iter().enumerate() {
+        net.run(&mut host, op_time(i));
+        match value {
+            Some(v) => host.advertise(&mut net, NodeId(node), key, v),
+            None => host.lookup(&mut net, NodeId(node), key),
+        };
+    }
+    // Generous quiescence horizon: all retries and deadlines resolved.
+    net.run(&mut host, op_time(ops.len()) + SimDuration::from_secs(300));
+    collect(|n| host.take_completions(n))
+}
+
+fn run_loopback(cfg: EndpointConfig) -> Vec<Outcome> {
+    let mut net = LoopbackNet::new(LoopbackConfig {
+        nodes: N,
+        seed: SEED,
+        endpoint: cfg,
+        link_delay: SimDuration::from_micros(300),
+        faults: LinkFaults::none(),
+    });
+    for (i, &(node, key, value)) in script().iter().enumerate() {
+        net.run_until(op_time(i));
+        match value {
+            Some(v) => net.advertise(NodeId(node), key, v),
+            None => net.lookup(NodeId(node), key),
+        };
+    }
+    net.run_idle();
+    collect(|n| net.take_completions(n))
+}
+
+fn collect(mut take: impl FnMut(NodeId) -> Vec<pqs_core::endpoint::Completion>) -> Vec<Outcome> {
+    let mut rows: Vec<Outcome> = (0..N as u32)
+        .flat_map(|n| {
+            take(NodeId(n)).into_iter().map(move |c| {
+                (
+                    n,
+                    c.op,
+                    c.kind == pqs_core::OpKind::Lookup,
+                    c.key,
+                    c.ok,
+                    c.value,
+                )
+            })
+        })
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Certain-intersection sizing (`qa + qℓ > n`): every operation must
+/// succeed on both substrates with identical outcomes.
+#[test]
+fn equivalence_with_certain_intersection() {
+    let sim = run_sim(endpoint_cfg(9, 9));
+    let loopback = run_loopback(endpoint_cfg(9, 9));
+    assert_eq!(sim.len(), 2 * N, "every scripted op completed on sim");
+    assert_eq!(sim, loopback);
+    for &(_, _, is_lookup, _, ok, value) in &sim {
+        assert!(ok, "certain intersection cannot miss");
+        assert_eq!(is_lookup, value.is_some());
+    }
+}
+
+/// Probabilistic sizing (`qa = qℓ = 5`, n = 16): misses and retries are
+/// possible, and the two substrates must agree on every single outcome —
+/// including which lookups missed.
+#[test]
+fn equivalence_with_probabilistic_sizing() {
+    let sim = run_sim(endpoint_cfg(5, 5));
+    let loopback = run_loopback(endpoint_cfg(5, 5));
+    assert_eq!(sim.len(), 2 * N);
+    assert_eq!(sim, loopback);
+    let hits = sim
+        .iter()
+        .filter(|&&(_, _, is_lookup, _, ok, _)| is_lookup && ok)
+        .count();
+    // qa·qℓ = 25 ≥ n·ln(1/ε) for ε ≈ 0.21; most lookups hit.
+    assert!(hits >= N / 2, "only {hits}/{N} lookups hit");
+}

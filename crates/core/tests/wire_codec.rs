@@ -1,0 +1,144 @@
+//! Property suite for the canonical wire codec: encode→decode identity
+//! over arbitrary messages, typed errors (never panics) on truncated or
+//! corrupted frames, and a fuzz-style junk-datagram test.
+
+use pqs_core::transport::{Datagram, OpStatus, WireMsg};
+use pqs_core::wire::{decode_frame, encode_frame, WireError, MAX_FRAME};
+use pqs_net::NodeId;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn arb_status() -> impl Strategy<Value = OpStatus> {
+    prop_oneof![
+        Just(OpStatus::Failed),
+        Just(OpStatus::Ok),
+        Just(OpStatus::Refused),
+    ]
+}
+
+fn arb_msg() -> impl Strategy<Value = WireMsg> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(op, key, value)| WireMsg::Store {
+            op,
+            key,
+            value
+        }),
+        any::<u64>().prop_map(|op| WireMsg::StoreAck { op }),
+        (any::<u64>(), any::<u64>()).prop_map(|(op, key)| WireMsg::LookupReq { op, key }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u64>(), 0..40)
+        )
+            .prop_map(|(op, key, values)| WireMsg::LookupReply { op, key, values }),
+        any::<u64>().prop_map(|nonce| WireMsg::Ping { nonce }),
+        any::<u64>().prop_map(|nonce| WireMsg::Pong { nonce }),
+        Just(WireMsg::DrainReq),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(completed, refused)| WireMsg::DrainAck { completed, refused }),
+        Just(WireMsg::MetricsReq),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(issued, completed, failed, refused, served_stores, served_lookups)| {
+                    WireMsg::MetricsResp {
+                        issued,
+                        completed,
+                        failed,
+                        refused,
+                        served_stores,
+                        served_lookups,
+                    }
+                }
+            ),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(req, key, value)| WireMsg::ClientPut { req, key, value }),
+        (any::<u64>(), arb_status())
+            .prop_map(|(req, status)| WireMsg::ClientPutDone { req, status }),
+        (any::<u64>(), any::<u64>()).prop_map(|(req, key)| WireMsg::ClientGet { req, key }),
+        (any::<u64>(), arb_status(), any::<u64>())
+            .prop_map(|(req, status, value)| { WireMsg::ClientGetDone { req, status, value } }),
+    ]
+}
+
+proptest! {
+    /// Encode→decode is the identity, and the frame is fully consumed.
+    #[test]
+    fn roundtrip_identity(from in any::<u32>(), msg in arb_msg()) {
+        let d = Datagram { from: NodeId(from), msg };
+        let bytes = encode_frame(&d);
+        let (back, used) = decode_frame(&bytes).expect("well-formed frame");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, d);
+    }
+
+    /// Every strict prefix of a valid frame is rejected as truncated —
+    /// never accepted, never a panic.
+    #[test]
+    fn truncation_always_typed(from in any::<u32>(), msg in arb_msg(), cut_seed in any::<u64>()) {
+        let d = Datagram { from: NodeId(from), msg };
+        let bytes = encode_frame(&d);
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert_eq!(decode_frame(&bytes[..cut]), Err(WireError::Truncated));
+    }
+
+    /// Flipping a single byte of a valid frame either still decodes to
+    /// *some* message (the flip hit a don't-care bit of a field) or
+    /// returns a typed error — it never panics and never produces a
+    /// frame that over- or under-consumes the buffer.
+    #[test]
+    fn corruption_never_panics(from in any::<u32>(), msg in arb_msg(), pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let d = Datagram { from: NodeId(from), msg };
+        let mut bytes = encode_frame(&d);
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok((_, used)) = decode_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+}
+
+/// Fuzz-style junk-datagram test: a million random buffers through the
+/// strict decoder. The decoder must return a typed error or a valid
+/// message for every single one — any panic fails the test outright.
+#[test]
+fn junk_datagrams_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut accepted = 0u64;
+    for i in 0..1_000_000u64 {
+        let len = (rng.gen_range(0..128usize)).min(96);
+        let mut buf: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        // Half the time, make the length prefix plausible so we fuzz the
+        // body parser too, not just the framing checks.
+        if i % 2 == 0 && buf.len() >= 4 {
+            let body = (buf.len() - 4) as u32;
+            buf[..4].copy_from_slice(&body.to_le_bytes());
+        }
+        if decode_frame(&buf).is_ok() {
+            accepted += 1;
+        }
+    }
+    // Random bytes essentially never form a valid frame (magic+version
+    // alone are 24 fixed bits).
+    assert_eq!(accepted, 0, "random junk should not parse as frames");
+}
+
+/// Oversized length prefixes are rejected before any allocation.
+#[test]
+fn oversized_prefix_is_rejected() {
+    let mut buf = vec![0u8; 8];
+    buf[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert_eq!(
+        decode_frame(&buf),
+        Err(WireError::Oversized(u32::MAX as usize))
+    );
+    let just_over = (MAX_FRAME + 1) as u32;
+    buf[..4].copy_from_slice(&just_over.to_le_bytes());
+    assert_eq!(decode_frame(&buf), Err(WireError::Oversized(MAX_FRAME + 1)));
+}

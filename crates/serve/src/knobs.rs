@@ -1,0 +1,94 @@
+//! Environment knobs for the serve binaries, following the workspace
+//! convention: unset means default, malformed values exit with code 2
+//! instead of silently running a default configuration.
+
+/// Parses a positive integer knob value.
+pub fn parse_count(name: &str, raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Err(format!("{name}={raw}: must be at least 1")),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!("{name}={raw}: not a count ({e})")),
+    }
+}
+
+/// Parses a seed knob value (any u64).
+pub fn parse_seed(name: &str, raw: &str) -> Result<u64, String> {
+    raw.trim()
+        .parse::<u64>()
+        .map_err(|e| format!("{name}={raw}: not a seed ({e})"))
+}
+
+fn fail_knob(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn count_knob(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => parse_count(name, &raw).unwrap_or_else(|msg| fail_knob(&msg)),
+    }
+}
+
+/// `PQS_SERVE_OPS`: total client operations the load generator drives
+/// (default 100 000).
+pub fn ops() -> u64 {
+    count_knob("PQS_SERVE_OPS", 100_000)
+}
+
+/// `PQS_SERVE_NODES`: cluster size (default 5, minimum 2).
+pub fn nodes() -> usize {
+    let n = count_knob("PQS_SERVE_NODES", 5);
+    if n < 2 {
+        fail_knob(&format!(
+            "PQS_SERVE_NODES={n}: a cluster needs at least 2 nodes"
+        ));
+    }
+    n as usize
+}
+
+/// `PQS_SERVE_CLIENTS`: concurrent load-generator clients (default 4).
+pub fn clients() -> usize {
+    count_knob("PQS_SERVE_CLIENTS", 4) as usize
+}
+
+/// `PQS_SERVE_SEED`: master seed for quorum sampling and the workload
+/// (default 1).
+pub fn seed() -> u64 {
+    match std::env::var("PQS_SERVE_SEED") {
+        Err(_) => 1,
+        Ok(raw) => parse_seed("PQS_SERVE_SEED", &raw).unwrap_or_else(|msg| fail_knob(&msg)),
+    }
+}
+
+/// `PQS_SERVE_RUN_SECS`: if set, `pqs_serve` auto-drains after this many
+/// seconds instead of waiting for an external `DrainReq`.
+pub fn run_secs() -> Option<u64> {
+    match std::env::var("PQS_SERVE_RUN_SECS") {
+        Err(_) => None,
+        Ok(raw) => {
+            Some(parse_count("PQS_SERVE_RUN_SECS", &raw).unwrap_or_else(|msg| fail_knob(&msg)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_parse_strictly() {
+        assert_eq!(parse_count("K", "120000"), Ok(120_000));
+        assert_eq!(parse_count("K", " 7 "), Ok(7));
+        assert!(parse_count("K", "0").is_err());
+        assert!(parse_count("K", "-3").is_err());
+        assert!(parse_count("K", "12k").is_err());
+        assert!(parse_count("K", "").is_err());
+    }
+
+    #[test]
+    fn seeds_parse_strictly() {
+        assert_eq!(parse_seed("S", "0"), Ok(0));
+        assert!(parse_seed("S", "abc").is_err());
+    }
+}

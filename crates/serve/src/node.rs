@@ -1,0 +1,334 @@
+//! The per-node UDP serving loop: one bounded thread per socket, no
+//! async runtime. Each iteration drains a burst of datagrams through
+//! the strict wire decoder, fires due engine timers from a local
+//! binary-heap timer queue, answers completed client operations, and —
+//! once a drain has been requested and the engine reports quiescence —
+//! acknowledges and exits, closing the socket.
+
+use crate::{WallClock, CLIENT_NODE_ID};
+use pqs_core::endpoint::{EndpointCounters, QuorumEndpoint};
+use pqs_core::messages::OpId;
+use pqs_core::transport::{Datagram, OpStatus, Transport, WireMsg};
+use pqs_core::wire;
+use pqs_net::NodeId;
+use pqs_sim::metrics::Histogram;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Final state of one node after its serving loop exited.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The node.
+    pub node: NodeId,
+    /// Engine counters at exit (conserved: see
+    /// [`EndpointCounters`]).
+    pub counters: EndpointCounters,
+    /// Datagrams rejected by the strict wire decoder.
+    pub malformed_datagrams: u64,
+    /// Socket send failures (counted, never fatal: UDP is best-effort).
+    pub send_errors: u64,
+    /// Client operations answered (put + get, any status except
+    /// refused-synchronously).
+    pub client_completed: u64,
+    /// Advertise completion latency, microseconds wall-clock.
+    pub advertise_latency: Histogram,
+    /// Lookup completion latency, microseconds wall-clock.
+    pub lookup_latency: Histogram,
+}
+
+/// The [`Transport`] a node loop hands its engine: sends encode through
+/// the wire codec straight onto the socket, timers go to the loop's
+/// local heap.
+struct UdpCtx<'a> {
+    sock: &'a UdpSocket,
+    me: NodeId,
+    book: &'a [SocketAddr],
+    timers: &'a mut BinaryHeap<Reverse<(u64, u64)>>,
+    now: u64,
+    send_errors: &'a mut u64,
+}
+
+impl Transport for UdpCtx<'_> {
+    fn now_micros(&self) -> u64 {
+        self.now
+    }
+
+    fn send(&mut self, to: NodeId, msg: WireMsg) {
+        let Some(addr) = self.book.get(to.0 as usize) else {
+            *self.send_errors += 1;
+            return;
+        };
+        let frame = wire::encode_frame(&Datagram { from: self.me, msg });
+        if self.sock.send_to(&frame, addr).is_err() {
+            *self.send_errors += 1;
+        }
+    }
+
+    fn set_timer(&mut self, delay_micros: u64, token: u64) {
+        self.timers.push(Reverse((self.now + delay_micros, token)));
+    }
+}
+
+/// A client operation the engine is running on behalf of a remote
+/// socket address.
+struct ClientReq {
+    addr: SocketAddr,
+    req: u64,
+    get: bool,
+}
+
+/// Runs one node until it is drained. See the module docs for the loop
+/// structure.
+pub fn node_loop(
+    sock: UdpSocket,
+    book: Arc<[SocketAddr]>,
+    mut engine: QuorumEndpoint,
+    clock: WallClock,
+) -> NodeReport {
+    let me = engine.id();
+    sock.set_read_timeout(Some(Duration::from_millis(1)))
+        .expect("set_read_timeout on a bound socket");
+    let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut buf = vec![0u8; wire::MAX_FRAME + 8];
+    let mut malformed = 0u64;
+    let mut send_errors = 0u64;
+    let mut client_completed = 0u64;
+    // op → waiting client; (addr, req) → op for retransmit dedup.
+    let mut client_ops: HashMap<OpId, ClientReq> = HashMap::new();
+    let mut open_reqs: HashMap<(SocketAddr, u64), OpId> = HashMap::new();
+    let mut drain_waiters: Vec<SocketAddr> = Vec::new();
+    let mut draining = false;
+
+    loop {
+        // 1. Drain a burst of datagrams (bounded, so timers and
+        //    completions are serviced under sustained load).
+        let mut received = 0u32;
+        while received < 128 {
+            let (n, src) = match sock.recv_from(&mut buf) {
+                Ok(x) => x,
+                Err(ref e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break
+                }
+                Err(_) => break,
+            };
+            received += 1;
+            let dg = match wire::decode_frame(&buf[..n]) {
+                Ok((dg, _)) => dg,
+                Err(_) => {
+                    malformed += 1;
+                    continue;
+                }
+            };
+            let now = clock.now_micros();
+            match dg.msg {
+                msg @ (WireMsg::Store { .. }
+                | WireMsg::StoreAck { .. }
+                | WireMsg::LookupReq { .. }
+                | WireMsg::LookupReply { .. }) => {
+                    let mut ctx = UdpCtx {
+                        sock: &sock,
+                        me,
+                        book: &book,
+                        timers: &mut timers,
+                        now,
+                        send_errors: &mut send_errors,
+                    };
+                    engine.on_message(&mut ctx, dg.from, msg);
+                }
+                WireMsg::Ping { nonce } => {
+                    send_raw(&sock, me, src, WireMsg::Pong { nonce }, &mut send_errors);
+                }
+                WireMsg::MetricsReq => {
+                    let c = engine.counters();
+                    send_raw(
+                        &sock,
+                        me,
+                        src,
+                        WireMsg::MetricsResp {
+                            issued: c.advertises_issued + c.lookups_issued,
+                            completed: c.completed_ok + c.completed_failed,
+                            failed: c.completed_failed,
+                            refused: c.refused,
+                            served_stores: c.stores_served,
+                            served_lookups: c.lookups_served,
+                        },
+                        &mut send_errors,
+                    );
+                }
+                WireMsg::DrainReq => {
+                    draining = true;
+                    engine.begin_drain();
+                    if !drain_waiters.contains(&src) {
+                        drain_waiters.push(src);
+                    }
+                }
+                WireMsg::ClientPut { req, key, value } => {
+                    if open_reqs.contains_key(&(src, req)) {
+                        continue; // retransmit of an op still in flight
+                    }
+                    let mut ctx = UdpCtx {
+                        sock: &sock,
+                        me,
+                        book: &book,
+                        timers: &mut timers,
+                        now,
+                        send_errors: &mut send_errors,
+                    };
+                    match engine.advertise(&mut ctx, key, value) {
+                        Some(op) => {
+                            client_ops.insert(
+                                op,
+                                ClientReq {
+                                    addr: src,
+                                    req,
+                                    get: false,
+                                },
+                            );
+                            open_reqs.insert((src, req), op);
+                        }
+                        None => send_raw(
+                            &sock,
+                            me,
+                            src,
+                            WireMsg::ClientPutDone {
+                                req,
+                                status: OpStatus::Refused,
+                            },
+                            &mut send_errors,
+                        ),
+                    }
+                }
+                WireMsg::ClientGet { req, key } => {
+                    if open_reqs.contains_key(&(src, req)) {
+                        continue;
+                    }
+                    let mut ctx = UdpCtx {
+                        sock: &sock,
+                        me,
+                        book: &book,
+                        timers: &mut timers,
+                        now,
+                        send_errors: &mut send_errors,
+                    };
+                    match engine.lookup(&mut ctx, key) {
+                        Some(op) => {
+                            client_ops.insert(
+                                op,
+                                ClientReq {
+                                    addr: src,
+                                    req,
+                                    get: true,
+                                },
+                            );
+                            open_reqs.insert((src, req), op);
+                        }
+                        None => send_raw(
+                            &sock,
+                            me,
+                            src,
+                            WireMsg::ClientGetDone {
+                                req,
+                                status: OpStatus::Refused,
+                                value: 0,
+                            },
+                            &mut send_errors,
+                        ),
+                    }
+                }
+                // Answers and acks are for clients/admins, not servers.
+                WireMsg::Pong { .. }
+                | WireMsg::DrainAck { .. }
+                | WireMsg::MetricsResp { .. }
+                | WireMsg::ClientPutDone { .. }
+                | WireMsg::ClientGetDone { .. } => {}
+            }
+        }
+
+        // 2. Fire due engine timers.
+        let now = clock.now_micros();
+        while timers.peek().is_some_and(|Reverse((due, _))| *due <= now) {
+            let Reverse((_, token)) = timers.pop().expect("peeked entry exists");
+            let mut ctx = UdpCtx {
+                sock: &sock,
+                me,
+                book: &book,
+                timers: &mut timers,
+                now,
+                send_errors: &mut send_errors,
+            };
+            engine.on_timer(&mut ctx, token);
+        }
+
+        // 3. Answer clients whose quorum operations completed.
+        for c in engine.take_completions() {
+            let Some(cr) = client_ops.remove(&c.op) else {
+                continue;
+            };
+            open_reqs.remove(&(cr.addr, cr.req));
+            client_completed += 1;
+            let status = if c.ok { OpStatus::Ok } else { OpStatus::Failed };
+            let msg = if cr.get {
+                WireMsg::ClientGetDone {
+                    req: cr.req,
+                    status,
+                    value: c.value.unwrap_or(0),
+                }
+            } else {
+                WireMsg::ClientPutDone {
+                    req: cr.req,
+                    status,
+                }
+            };
+            send_raw(&sock, me, cr.addr, msg, &mut send_errors);
+        }
+
+        // 4. Drained: acknowledge and exit (the socket closes on drop —
+        //    nothing leaks).
+        if draining && engine.drained() {
+            let c = engine.counters();
+            for w in &drain_waiters {
+                send_raw(
+                    &sock,
+                    me,
+                    *w,
+                    WireMsg::DrainAck {
+                        completed: client_completed,
+                        refused: c.refused,
+                    },
+                    &mut send_errors,
+                );
+            }
+            break;
+        }
+    }
+
+    let (adv, look) = engine.latency();
+    NodeReport {
+        node: me,
+        counters: engine.counters(),
+        malformed_datagrams: malformed,
+        send_errors,
+        client_completed,
+        advertise_latency: adv.clone(),
+        lookup_latency: look.clone(),
+    }
+}
+
+fn send_raw(sock: &UdpSocket, from: NodeId, to: SocketAddr, msg: WireMsg, send_errors: &mut u64) {
+    let frame = wire::encode_frame(&Datagram { from, msg });
+    if sock.send_to(&frame, to).is_err() {
+        *send_errors += 1;
+    }
+}
+
+// Keep the sentinel referenced so the constant's contract (never a valid
+// book index) is enforced where it matters: `UdpCtx::send` indexes the
+// book and silently drops out-of-range ids, including this one.
+const _: () = assert!(CLIENT_NODE_ID.0 == u32::MAX);

@@ -512,13 +512,6 @@ impl<E> EventQueue<E> {
         found.then(|| SimTime::from_micros(best))
     }
 
-    /// Returns the firing time of the earliest pending event without
-    /// removing it. Alias of [`next_deadline`](Self::next_deadline),
-    /// kept for callers that already hold `&mut self`.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.next_deadline()
-    }
-
     /// Returns the number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
         self.pending.len()
@@ -684,7 +677,7 @@ mod tests {
         let a = q.schedule(SimTime::from_secs(1), "a");
         q.schedule(SimTime::from_secs(2), "b");
         q.cancel(a);
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.next_deadline(), Some(SimTime::from_secs(2)));
         assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
     }
 
@@ -819,7 +812,6 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::default();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
-        assert_eq!(q.peek_time(), None);
         assert_eq!(q.next_deadline(), None);
     }
 

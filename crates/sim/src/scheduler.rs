@@ -89,17 +89,10 @@ impl<E> Scheduler<E> {
 
     /// Returns the firing time of the next event without removing it.
     ///
-    /// Unlike the older [`peek_time`](Self::peek_time) this takes
-    /// `&self`: probing the deadline is read-only and never perturbs pop
-    /// order, so it composes with shared borrows of the simulation.
+    /// Takes `&self`: probing the deadline is read-only and never
+    /// perturbs pop order, so it composes with shared borrows of the
+    /// simulation.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.queue.next_deadline()
-    }
-
-    /// Returns the firing time of the next event without removing it.
-    /// Alias of [`next_deadline`](Self::next_deadline) for callers that
-    /// already hold `&mut self`.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
         self.queue.next_deadline()
     }
 

@@ -79,6 +79,38 @@ grep -q '"peak_rss_bytes":' "$scale_dir/fig_scale.perf.json" \
     || { echo "fig_scale.perf.json: missing peak_rss_bytes"; rm -rf "$scale_dir"; exit 1; }
 rm -rf "$scale_dir"
 
+echo "==> serve e2e: pqs_serve + serve_load over localhost UDP (120k ops)"
+serve_dir="$(mktemp -d)"
+ports="$serve_dir/ports.txt"
+cargo build --release -q -p pqs-serve
+PQS_SERVE_PORTS_FILE="$ports" PQS_SERVE_NODES=5 \
+    ./target/release/pqs_serve >"$serve_dir/serve.out" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do [[ -s "$ports" ]] && break; sleep 0.1; done
+[[ -s "$ports" ]] \
+    || { echo "pqs_serve did not publish its ports"; kill "$serve_pid" 2>/dev/null; exit 1; }
+targets="$(paste -sd, "$ports")"
+PQS_BENCH_DIR="$serve_dir" PQS_SERVE_OPS=120000 \
+    timeout 180 ./target/release/serve_load --targets "$targets" --drain >/dev/null \
+    || { echo "serve_load burst failed"; kill "$serve_pid" 2>/dev/null; rm -rf "$serve_dir"; exit 1; }
+# Clean shutdown: the drained server must exit on its own, promptly.
+for _ in $(seq 1 100); do kill -0 "$serve_pid" 2>/dev/null || break; sleep 0.1; done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "pqs_serve did not shut down after the drain"
+    kill -9 "$serve_pid"; rm -rf "$serve_dir"; exit 1
+fi
+wait "$serve_pid" || { echo "pqs_serve exited non-zero"; rm -rf "$serve_dir"; exit 1; }
+ratio="$(grep -o '"hit_ratio": *[0-9.e+-]*' "$serve_dir/serve_throughput.json" | awk '{print $2}')"
+awk -v r="$ratio" 'BEGIN { exit !(r >= 0.9) }' \
+    || { echo "serve hit ratio $ratio below 0.9"; rm -rf "$serve_dir"; exit 1; }
+grep -q '"value_mismatches": 0' "$serve_dir/serve_throughput.json" \
+    || { echo "serve_load observed corrupted values"; rm -rf "$serve_dir"; exit 1; }
+for field in ops_per_sec put_p50_us put_p99_us get_p50_us get_p99_us; do
+    grep -q "\"$field\":" "$serve_dir/serve_throughput.perf.json" \
+        || { echo "serve_throughput.perf.json: missing $field"; rm -rf "$serve_dir"; exit 1; }
+done
+rm -rf "$serve_dir"
+
 echo "==> perf sidecars: pool_width >= 1 and PQS_JOBS provenance recorded"
 for sidecar in bench_results/*.perf.json; do
     [[ -e "$sidecar" ]] || continue
@@ -143,6 +175,8 @@ if [[ $quick -eq 0 ]]; then
     for export in bench_results/*.json; do
         base="$(basename "$export")"
         [[ "$base" == *.perf.json ]] && continue
+        # Measured over real sockets, not a deterministic sim export.
+        [[ "$base" == "serve_throughput.json" ]] && continue
         diff "$export" "$full_dir/$base" \
             || { echo "$base differs from the committed export"; rm -rf "$full_dir"; exit 1; }
     done

@@ -11,11 +11,14 @@
 //!   access strategies, and the quorum-backed location service,
 //! - [`plan`]: the adaptive quorum planner — analytic sizing plus the
 //!   runtime controller that closes the estimator → planner →
-//!   reconfigure loop.
+//!   reconfigure loop,
+//! - [`serve`]: the real-socket quorum KV service — the transport-seam
+//!   protocol engine hosted on `std::net::UdpSocket` endpoints.
 
 pub use pqs_core as core;
 pub use pqs_graph as graph;
 pub use pqs_net as net;
 pub use pqs_plan as plan;
 pub use pqs_routing as routing;
+pub use pqs_serve as serve;
 pub use pqs_sim as sim;
