@@ -42,6 +42,13 @@ pub struct EndpointConfig {
     pub retry: RetryPolicy,
     /// Byzantine tolerance policy (trusting or masking votes).
     pub byz: ByzPolicy,
+    /// Optional weighted size mixture: each operation samples its
+    /// quorum size from its side's candidates (one draw from the
+    /// endpoint's op RNG stream). Candidate *strategies* are ignored —
+    /// over real sockets every access is a uniform peer sample, so
+    /// only the size parameter applies. `None` keeps the fixed
+    /// `qa`/`ql` behaviour with no extra RNG draws.
+    pub weighted: Option<crate::spec::WeightedBiquorumSpec>,
 }
 
 impl EndpointConfig {
@@ -54,6 +61,7 @@ impl EndpointConfig {
             ql,
             retry: RetryPolicy::default_policy(),
             byz: ByzPolicy::trusting(),
+            weighted: None,
         }
     }
 }
@@ -121,6 +129,9 @@ struct OpenOp {
     deadline: u64,
     /// Store acks collected so far (advertise only).
     acked: usize,
+    /// This op's quorum size: the fixed `qa`/`ql`, or its pinned
+    /// weighted sample — concurrent ops may carry different targets.
+    target: usize,
     attempts: u32,
 }
 
@@ -242,6 +253,7 @@ impl QuorumEndpoint {
         let op = self.next_op;
         self.next_op += 1;
         let now = t.now_micros();
+        let target = self.sample_target(OpKind::Advertise);
         self.ops.insert(
             op,
             OpenOp {
@@ -251,6 +263,7 @@ impl QuorumEndpoint {
                 started: now,
                 deadline: now + self.cfg.retry.op_deadline.as_micros(),
                 acked: 0,
+                target,
                 attempts: 1,
             },
         );
@@ -274,6 +287,7 @@ impl QuorumEndpoint {
         let op = self.next_op;
         self.next_op += 1;
         let now = t.now_micros();
+        let target = self.sample_target(OpKind::Lookup);
         self.ops.insert(
             op,
             OpenOp {
@@ -283,6 +297,7 @@ impl QuorumEndpoint {
                 started: now,
                 deadline: now + self.cfg.retry.op_deadline.as_micros(),
                 acked: 0,
+                target,
                 attempts: 1,
             },
         );
@@ -328,7 +343,7 @@ impl QuorumEndpoint {
                 let done = match self.ops.get_mut(&op) {
                     Some(o) if o.kind == OpKind::Advertise => {
                         o.acked += 1;
-                        o.acked >= self.cfg.qa
+                        o.acked >= o.target
                     }
                     _ => false,
                 };
@@ -429,7 +444,7 @@ impl QuorumEndpoint {
 
     fn issue_advertise<T: Transport>(&mut self, t: &mut T, op: OpId) {
         let Some(o) = self.ops.get(&op) else { return };
-        let want = self.cfg.qa.saturating_sub(o.acked);
+        let want = o.target.saturating_sub(o.acked);
         let (key, value) = (o.key, o.value.unwrap_or_default());
         for to in self.sample_peers(want) {
             self.send(t, to, WireMsg::Store { op, key, value });
@@ -438,8 +453,8 @@ impl QuorumEndpoint {
 
     fn issue_lookup<T: Transport>(&mut self, t: &mut T, op: OpId) {
         let Some(o) = self.ops.get(&op) else { return };
-        let key = o.key;
-        for to in self.sample_peers(self.cfg.ql) {
+        let (key, want) = (o.key, o.target);
+        for to in self.sample_peers(want) {
             self.send(t, to, WireMsg::LookupReq { op, key });
         }
     }
@@ -450,6 +465,24 @@ impl QuorumEndpoint {
             .choose_multiple(&mut self.rng, k)
             .copied()
             .collect()
+    }
+
+    /// The quorum size a fresh operation targets: its side's fixed
+    /// size, or — in weighted mode — a size sampled from the mixture
+    /// with one draw from the op RNG stream (pinned for the op's whole
+    /// life, retries included).
+    fn sample_target(&mut self, kind: OpKind) -> usize {
+        let Some(w) = self.cfg.weighted else {
+            return match kind {
+                OpKind::Advertise => self.cfg.qa,
+                OpKind::Lookup => self.cfg.ql,
+            };
+        };
+        let side = match kind {
+            OpKind::Advertise => w.advertise,
+            OpKind::Lookup => w.lookup,
+        };
+        side.pick(self.rng.gen::<f64>()).size as usize
     }
 
     fn arm_check<T: Transport>(&mut self, t: &mut T, op: OpId) {
@@ -625,6 +658,7 @@ mod tests {
         let cfg = EndpointConfig {
             qa: 3,
             ql: 5,
+            weighted: None,
             retry: RetryPolicy::default_policy(),
             byz: ByzPolicy::masking(1),
         };
@@ -721,6 +755,7 @@ mod tests {
         let cfg = EndpointConfig {
             qa: 3,
             ql: 3,
+            weighted: None,
             retry: RetryPolicy {
                 max_attempts: 1,
                 ..RetryPolicy::default_policy()

@@ -103,6 +103,10 @@ pub enum HoldReason {
     /// The minimum-dwell timer since the last reconfiguration had not
     /// expired.
     MinDwell,
+    /// The live estimate produced planner input the planner rejected
+    /// (degenerate τ, b ≥ n̂, non-finite costs) — the last good plan is
+    /// kept instead of aborting the process.
+    InvalidInput,
 }
 
 impl HoldReason {
@@ -112,6 +116,7 @@ impl HoldReason {
             HoldReason::NoEstimate => "no_estimate",
             HoldReason::DeadBand => "dead_band",
             HoldReason::MinDwell => "min_dwell",
+            HoldReason::InvalidInput => "invalid_input",
         }
     }
 }
@@ -200,6 +205,10 @@ pub struct LoadSummary {
     /// `max / mean` (0 when the network is idle) — 1.0 is perfectly
     /// balanced.
     pub imbalance: f64,
+    /// 99th-percentile per-node load (nearest-rank) — the balance tail
+    /// the weighted optimizer targets; `max` alone is too noisy for a
+    /// single outlier hub.
+    pub p99: u64,
 }
 
 impl LoadSummary {
@@ -214,12 +223,21 @@ impl LoadSummary {
             total as f64 / nodes as f64
         };
         let imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+        let p99 = if nodes == 0 {
+            0
+        } else {
+            let mut sorted = loads.to_vec();
+            sorted.sort_unstable();
+            let rank = ((0.99 * nodes as f64).ceil() as usize).clamp(1, nodes);
+            sorted[rank - 1]
+        };
         LoadSummary {
             nodes,
             total,
             max,
             mean,
             imbalance,
+            p99,
         }
     }
 }
@@ -232,6 +250,7 @@ impl ToJson for LoadSummary {
             ("max", JsonValue::from(self.max)),
             ("mean", JsonValue::from(self.mean)),
             ("imbalance", JsonValue::from(self.imbalance)),
+            ("p99", JsonValue::from(self.p99)),
         ])
     }
 }
@@ -282,6 +301,10 @@ impl ToJson for QuorumCounters {
                 JsonValue::from(self.controller_holds_dwell),
             ),
             (
+                "controller_holds_invalid",
+                JsonValue::from(self.controller_holds_invalid),
+            ),
+            (
                 "byz_suspected_replies",
                 JsonValue::from(self.byz_suspected_replies),
             ),
@@ -327,6 +350,7 @@ impl ToJson for RunMetrics {
             ("advertise_latency_us", self.advertise_latency.to_json()),
             ("lookup_latency_us", self.lookup_latency.to_json()),
             ("load", self.load.to_json()),
+            ("total_load", self.total_load.to_json()),
             ("scheduler_clamped", JsonValue::from(self.scheduler_clamped)),
             ("wrong_reads", JsonValue::from(self.wrong_reads)),
             ("wrong_read_ratio", JsonValue::from(self.wrong_read_ratio())),

@@ -137,8 +137,14 @@ pub struct RunMetrics {
     /// Lookup hit latency distribution (microseconds): issue → reply at
     /// the originator. Misses are not recorded.
     pub lookup_latency: Histogram,
-    /// Per-node message-load summary (balance analysis).
+    /// Per-node message-load summary (balance analysis). Counts frames
+    /// handled by each node's upper layer — receiver-side work only.
     pub load: LoadSummary,
+    /// Per-node load with router forwarding folded in: upper-layer
+    /// frames plus routed data transmissions each node relayed on
+    /// behalf of others. This is the load the weighted optimizer
+    /// balances (relay work on hub nodes is invisible to `load`).
+    pub total_load: LoadSummary,
     /// Past-timestamp schedules clamped by the event scheduler — a
     /// causality-violation canary, zero in a healthy run.
     pub scheduler_clamped: u64,
@@ -213,6 +219,18 @@ fn snapshot(net: &QuorumNet, stack: &QuorumStack) -> PhaseStats {
         link_tx: stack.counters().link_tx(),
         phy_tx: net.stats().phy_tx,
     }
+}
+
+/// Per-node load with router relay work folded in: upper-layer frames
+/// handled (the classic `node_loads`) plus routed data frames each node
+/// forwarded on behalf of other origins.
+fn total_loads(net: &QuorumNet, stack: &QuorumStack) -> Vec<u64> {
+    let upcalls = net.node_loads();
+    let forwards = stack.router.node_forwards();
+    let len = upcalls.len().max(forwards.len());
+    (0..len)
+        .map(|i| upcalls.get(i).copied().unwrap_or(0) + forwards.get(i).copied().unwrap_or(0))
+        .collect()
 }
 
 /// A runtime controller attached to a scenario run: a deterministic
@@ -378,6 +396,7 @@ fn lookup_tail(
         advertise_latency: Histogram::new(),
         lookup_latency: Histogram::new(),
         load: LoadSummary::from_loads(net.node_loads()),
+        total_load: LoadSummary::from_loads(&total_loads(net, stack)),
         scheduler_clamped: net.scheduler_clamped(),
         wrong_reads: 0,
         trace: stack.trace_events(),
@@ -1021,6 +1040,7 @@ mod tests {
             advertise_latency: Histogram::new(),
             lookup_latency: Histogram::new(),
             load: LoadSummary::default(),
+            total_load: LoadSummary::default(),
             scheduler_clamped: 0,
             wrong_reads: 0,
             trace: Vec::new(),

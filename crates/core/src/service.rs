@@ -206,6 +206,13 @@ pub struct ServiceConfig {
     /// The Byzantine read policy (paper default: trusting — no vote
     /// verification, no overhead).
     pub byz: ByzPolicy,
+    /// Optional weighted strategy mixture (ROADMAP item 3). When set,
+    /// each operation samples its side's `(strategy, size)` candidate
+    /// from the mixture using one draw from the op RNG stream; `spec`
+    /// then only serves as the fallback shape for code paths that need
+    /// a single representative pair. `None` (the default) reproduces
+    /// the uniform single-pair behaviour exactly — no extra RNG draws.
+    pub weighted: Option<crate::spec::WeightedBiquorumSpec>,
 }
 
 impl ServiceConfig {
@@ -242,6 +249,7 @@ impl ServiceConfig {
             trace_capacity: 0,
             estimator_sample_factor: 2.0,
             byz: ByzPolicy::trusting(),
+            weighted: None,
         }
     }
 }
@@ -295,6 +303,12 @@ pub struct OpRecord {
     /// A retry had to shrink the access below the Corollary 5.3 sizing
     /// rule because the estimated live population could not support it.
     pub degraded: bool,
+    /// The quorum size (or TTL) this operation sampled from a
+    /// [`crate::spec::WeightedBiquorumSpec`] mixture. `0` = unset (the
+    /// uniform single-pair path); a weighted op keeps its sampled
+    /// target across retries and completion checks so concurrent ops
+    /// with different samples never read each other's size.
+    pub quorum_target: u32,
 }
 
 impl OpRecord {
@@ -316,6 +330,7 @@ impl OpRecord {
             retries_exhausted: false,
             deadline_expired: false,
             degraded: false,
+            quorum_target: 0,
         }
     }
 }
@@ -380,6 +395,10 @@ pub struct QuorumCounters {
     pub controller_holds_dead_band: u64,
     /// Controller ticks held by the minimum-dwell timer.
     pub controller_holds_dwell: u64,
+    /// Controller ticks held because the live estimate produced planner
+    /// input the planner rejected (degenerate τ, b ≥ n̂, …): the
+    /// controller kept the last good plan instead of panicking.
+    pub controller_holds_invalid: u64,
     /// Lookup replies whose value lost a masking vote (outvoted by the
     /// accepted value, or left unverified at completion) — the reader's
     /// view of suspected Byzantine replies.

@@ -14,7 +14,7 @@ use crate::obs::{HoldReason, TraceEvent};
 use crate::service::{
     ByzMode, Fanout, OpKind, OpRecord, QuorumCounters, RepairMode, ServiceConfig,
 };
-use crate::spec::{AccessStrategy, BiquorumSpec};
+use crate::spec::{AccessStrategy, BiquorumSpec, QuorumSpec};
 use crate::store::{Key, Role, Store, Value};
 use pqs_net::{fabricated_value, MacDst, Network, NodeBehavior, NodeId, Stack, Upcall};
 use pqs_routing::{RoutePacket, Router, RouterConfig, RouterEvent, TransitHandle};
@@ -183,6 +183,11 @@ pub struct QuorumStack {
     flood_parent: Vec<HashMap<u64, NodeId>>,
     next_flood: u64,
     retry: HashMap<OpId, RetryState>,
+    /// The `(strategy, size)` candidate each weighted operation sampled
+    /// at issue time (absent when `ServiceConfig::weighted` is `None`).
+    /// Pinned for the op's whole life so retries and completion checks
+    /// never read a concurrent op's sample or a reconfigured mixture.
+    weighted_picks: BTreeMap<OpId, QuorumSpec>,
     /// Masking-mode vote tallies of still-open lookups: each distinct
     /// value with the distinct responders that vouched for it, in
     /// arrival order (deterministic tie-breaks). Empty in trusting mode.
@@ -216,7 +221,13 @@ impl QuorumStack {
         let view_size = (cfg.membership_view_factor * (alive.len() as f64).sqrt()).round() as usize;
         let membership = Membership::converged(n, &alive, view_size.max(1), &mut membership_rng);
         let needs_tap = cfg.spec.advertise.strategy == AccessStrategy::RandomOpt
-            || cfg.spec.lookup.strategy == AccessStrategy::RandomOpt;
+            || cfg.spec.lookup.strategy == AccessStrategy::RandomOpt
+            || cfg.weighted.is_some_and(|w| {
+                w.advertise
+                    .candidates()
+                    .chain(w.lookup.candidates())
+                    .any(|(s, _)| s.strategy == AccessStrategy::RandomOpt)
+            });
         let router_cfg = RouterConfig {
             transit_tap: needs_tap,
             ..RouterConfig::default()
@@ -238,6 +249,7 @@ impl QuorumStack {
             flood_parent: vec![HashMap::new(); n],
             next_flood: 0,
             retry: HashMap::new(),
+            weighted_picks: BTreeMap::new(),
             byz_votes: HashMap::new(),
             initial_n: n,
             original_failed: HashSet::new(),
@@ -315,6 +327,42 @@ impl QuorumStack {
         self.next_token
     }
 
+    /// Samples and pins `op`'s quorum candidate from the weighted
+    /// mixture (one draw from the op RNG stream). No-op — and no RNG
+    /// draw, keeping the uniform path byte-identical — when
+    /// `ServiceConfig::weighted` is `None`.
+    fn sample_weighted(&mut self, op: OpId, kind: OpKind) {
+        let Some(w) = self.cfg.weighted else {
+            return;
+        };
+        let side = match kind {
+            OpKind::Advertise => w.advertise,
+            OpKind::Lookup => w.lookup,
+        };
+        let pick = side.pick(self.rng.gen::<f64>());
+        self.weighted_picks.insert(op, pick);
+        if let Some(rec) = self.ops.get_mut(&op) {
+            rec.quorum_target = pick.size;
+        }
+    }
+
+    /// The advertise-side `(strategy, size)` this op uses: its pinned
+    /// weighted sample, or the live uniform spec.
+    fn advertise_spec_for(&self, op: OpId) -> QuorumSpec {
+        self.weighted_picks
+            .get(&op)
+            .copied()
+            .unwrap_or(self.cfg.spec.advertise)
+    }
+
+    /// The lookup-side `(strategy, size)` this op uses.
+    fn lookup_spec_for(&self, op: OpId) -> QuorumSpec {
+        self.weighted_picks
+            .get(&op)
+            .copied()
+            .unwrap_or(self.cfg.spec.lookup)
+    }
+
     // ------------------------------------------------------------------
     // Public operations
     // ------------------------------------------------------------------
@@ -333,6 +381,7 @@ impl QuorumStack {
                 origin: node,
             },
         );
+        self.sample_weighted(op, OpKind::Advertise);
         if !net.is_alive(node) {
             return op;
         }
@@ -353,7 +402,7 @@ impl QuorumStack {
         value: Value,
     ) {
         self.counters.advertises_issued += 1;
-        let spec = self.cfg.spec.advertise;
+        let spec = self.advertise_spec_for(op);
         match spec.strategy {
             AccessStrategy::Random | AccessStrategy::RandomOpt => {
                 let placed = self.ops.get(&op).map_or(0, |r| r.stores_placed) as usize;
@@ -422,6 +471,7 @@ impl QuorumStack {
                 origin: node,
             },
         );
+        self.sample_weighted(op, OpKind::Lookup);
         if !net.is_alive(node) {
             return op;
         }
@@ -448,7 +498,7 @@ impl QuorumStack {
             self.complete_lookup_from(net, op, node, local);
             let keeps_probing = self.cfg.lookup_fanout == Fanout::Parallel
                 && matches!(
-                    self.cfg.spec.lookup.strategy,
+                    self.lookup_spec_for(op).strategy,
                     AccessStrategy::Random | AccessStrategy::RandomOpt
                 );
             let replied = self.ops.get(&op).is_none_or(|r| r.replied);
@@ -456,7 +506,7 @@ impl QuorumStack {
                 return;
             }
         }
-        let spec = self.cfg.spec.lookup;
+        let spec = self.lookup_spec_for(op);
         match spec.strategy {
             AccessStrategy::Random | AccessStrategy::RandomOpt => {
                 let targets = self
@@ -534,7 +584,7 @@ impl QuorumStack {
         match rec.kind {
             OpKind::Lookup => rec.replied,
             OpKind::Advertise => {
-                let spec = self.cfg.spec.advertise;
+                let spec = self.advertise_spec_for(op);
                 // Flooding's size parameter is a TTL, not a member count,
                 // and floods are unconfirmed — the origin's own store is
                 // the only guaranteed placement.
@@ -553,12 +603,13 @@ impl QuorumStack {
     /// `completed` on success) and an [`TraceEvent::OpCompleted`] is
     /// traced.
     fn note_store_placed(&mut self, now: SimTime, op: OpId) {
-        let target = match self.cfg.spec.advertise.strategy {
+        let spec = self.advertise_spec_for(op);
+        let target = match spec.strategy {
             // A flood's size parameter is a TTL and floods are
             // unconfirmed: the origin's own store is the only guaranteed
             // placement (mirrors `op_succeeded`).
             AccessStrategy::Flooding => 1,
-            _ => self.cfg.spec.advertise.size,
+            _ => spec.size,
         };
         let mut done = None;
         if let Some(rec) = self.ops.get_mut(&op) {
@@ -895,6 +946,46 @@ impl QuorumStack {
         Ok(true)
     }
 
+    /// Applies (or clears, with `None`) a weighted strategy mixture
+    /// alongside its representative uniform spec. In-flight operations
+    /// keep their pinned samples; only newly issued ops draw from the
+    /// new mixture. Counts as one reconfiguration when either the spec
+    /// or the mixture actually changed.
+    pub fn reconfigure_weighted(
+        &mut self,
+        at: SimTime,
+        spec: BiquorumSpec,
+        weighted: Option<crate::spec::WeightedBiquorumSpec>,
+    ) -> Result<bool, ReconfigureError> {
+        let wants_tap = weighted.is_some_and(|w| {
+            w.advertise
+                .candidates()
+                .chain(w.lookup.candidates())
+                .any(|(s, _)| s.strategy == AccessStrategy::RandomOpt)
+        });
+        if wants_tap && !self.transit_tap {
+            return Err(ReconfigureError::NeedsTransitTap);
+        }
+        let mix_changed = weighted != self.cfg.weighted;
+        let size_changed = self.reconfigure(at, spec)?;
+        if mix_changed {
+            self.cfg.weighted = weighted;
+            if !size_changed {
+                // The spec was unchanged but the weights moved: still a
+                // reconfiguration from the operator's point of view.
+                self.counters.reconfigures += 1;
+                self.trace_push(
+                    at,
+                    TraceEvent::Reconfigured {
+                        qa: spec.advertise.size,
+                        ql: spec.lookup.size,
+                    },
+                );
+            }
+        }
+        Ok(size_changed || mix_changed)
+    }
+
     /// Counts one adaptive-controller evaluation.
     pub fn note_controller_tick(&mut self) {
         self.counters.controller_ticks += 1;
@@ -906,6 +997,7 @@ impl QuorumStack {
             HoldReason::NoEstimate => self.counters.controller_holds_no_estimate += 1,
             HoldReason::DeadBand => self.counters.controller_holds_dead_band += 1,
             HoldReason::MinDwell => self.counters.controller_holds_dwell += 1,
+            HoldReason::InvalidInput => self.counters.controller_holds_invalid += 1,
         }
         self.trace_push(at, TraceEvent::PlanHeld { reason });
     }
@@ -1527,7 +1619,7 @@ impl QuorumStack {
             return;
         }
         self.start_flood(net, origin, op, QuorumAction::Lookup { key }, ttl);
-        let max_ttl = self.cfg.spec.lookup.size as u8;
+        let max_ttl = self.lookup_spec_for(op).size as u8;
         if ttl < max_ttl {
             let token = self.token();
             self.timer_ctx.insert(
@@ -1747,7 +1839,7 @@ impl QuorumStack {
             // (§4.5). Only when the advertise side is RANDOM-OPT — plain
             // RANDOM keeps its uniform quorum.
             AppMsg::Store { op, key, value }
-                if self.cfg.spec.advertise.strategy == AccessStrategy::RandomOpt =>
+                if self.advertise_spec_for(*op).strategy == AccessStrategy::RandomOpt =>
             {
                 self.stores[node.index()].insert(*key, *value, Role::Owner);
                 self.note_store_placed(net.now(), *op);
@@ -1757,7 +1849,7 @@ impl QuorumStack {
             // RANDOM-OPT lookup: relays answer from their own store and
             // stop the probe (§4.5).
             AppMsg::LookupReq { op, key, origin }
-                if self.cfg.spec.lookup.strategy == AccessStrategy::RandomOpt =>
+                if self.lookup_spec_for(*op).strategy == AccessStrategy::RandomOpt =>
             {
                 let honest = self.stores[node.index()].lookup_all(*key);
                 if !honest.is_empty() {

@@ -11,6 +11,7 @@
 //! from-`t = 0` frame-drop plan (classic, unshareable).
 
 use pqs_core::runner::{run_cells, run_scenario, run_scenario_hooked, ScenarioConfig, SweepCell};
+use pqs_core::spec::{QuorumSpec, WeightedBiquorumSpec, WeightedSide};
 use pqs_core::workload::WorkloadConfig;
 use pqs_core::{AccessStrategy, Fanout, QuorumStack};
 use pqs_net::{FaultPlan, Network, NodeId};
@@ -65,6 +66,22 @@ fn mixed_grid() -> Vec<SweepCell> {
     let mut drops = base(n);
     drops.faults = Some(FaultPlan::new().drop_frames(0.15));
 
+    // Weighted mixture (PR 10): per-op quorum selection draws from the
+    // op RNG stream — byte-identity across pool widths and snapshot
+    // arms is exactly what this grid checks.
+    let mut weighted = base(n);
+    let s = weighted.service.spec;
+    weighted.service.weighted = Some(WeightedBiquorumSpec {
+        advertise: WeightedSide::single(s.advertise),
+        lookup: WeightedSide::new(
+            &[
+                s.lookup,
+                QuorumSpec::new(s.lookup.strategy, s.lookup.size + 2),
+            ],
+            &[0.6, 0.4],
+        ),
+    });
+
     let cfgs = [
         plain,
         path_lookup,
@@ -73,6 +90,7 @@ fn mixed_grid() -> Vec<SweepCell> {
         late_crash,
         mid_crash,
         drops,
+        weighted,
     ];
     let seeds = [11u64, 17];
     cfgs.iter()

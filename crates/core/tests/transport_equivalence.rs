@@ -39,6 +39,7 @@ fn endpoint_cfg(qa: usize, ql: usize) -> EndpointConfig {
     EndpointConfig {
         qa,
         ql,
+        weighted: None,
         retry: RetryPolicy::default_policy(),
         byz: ByzPolicy::trusting(),
     }

@@ -23,10 +23,11 @@
 //! configuration; every held tick is counted and traced with its
 //! reason, so silent holds are visible in `RunMetrics`.
 
+use crate::optimizer::{Optimizer, OptimizerConfig, WeightedPlan};
 use crate::planner::{Planner, PlannerConfig, QuorumPlan};
 use pqs_core::obs::HoldReason;
 use pqs_core::runner::{run_scenario_hooked, RunMetrics, ScenarioConfig};
-use pqs_core::spec::{self, BiquorumSpec};
+use pqs_core::spec::{self, BiquorumSpec, WeightedBiquorumSpec, WeightedSide};
 use pqs_core::stack::{QuorumNet, QuorumStack, ReconfigureError};
 use pqs_sim::control::TickSchedule;
 use pqs_sim::{SimDuration, SimTime};
@@ -57,6 +58,12 @@ pub struct ControllerConfig {
     /// under-estimating silently voids the ε guarantee — so the
     /// controller leans high.
     pub estimate_headroom: f64,
+    /// When set, each applied replan also re-runs the weighted
+    /// optimizer against the live `(n̂, τ)` and rebalances the
+    /// mixture's selection weights — live replans move *weights*, not
+    /// just sizes. `None` (the default) keeps the classic single-pair
+    /// behaviour.
+    pub weighted: Option<OptimizerConfig>,
 }
 
 impl ControllerConfig {
@@ -72,6 +79,7 @@ impl ControllerConfig {
             min_dwell: SimDuration::from_secs(30),
             estimate_smoothing: 0.5,
             estimate_headroom: 1.25,
+            weighted: None,
         }
     }
 }
@@ -83,8 +91,10 @@ impl ControllerConfig {
 pub struct AdaptiveController {
     cfg: ControllerConfig,
     planner: Planner,
+    optimizer: Option<Optimizer>,
     last_apply: Option<SimTime>,
     last_plan: Option<QuorumPlan>,
+    last_weighted: Option<WeightedPlan>,
     /// EWMA-smoothed population estimate across ticks.
     n_smooth: Option<f64>,
 }
@@ -106,9 +116,11 @@ impl AdaptiveController {
         assert!(cfg.estimate_headroom >= 1.0, "headroom must not shrink n̂");
         AdaptiveController {
             planner: Planner::new(cfg.planner),
+            optimizer: cfg.weighted.map(Optimizer::new),
             cfg,
             last_apply: None,
             last_plan: None,
+            last_weighted: None,
             n_smooth: None,
         }
     }
@@ -116,6 +128,11 @@ impl AdaptiveController {
     /// The most recently applied plan, if any tick has applied one.
     pub fn last_plan(&self) -> Option<&QuorumPlan> {
         self.last_plan.as_ref()
+    }
+
+    /// The most recently applied weighted plan (weighted mode only).
+    pub fn last_weighted_plan(&self) -> Option<&WeightedPlan> {
+        self.last_weighted.as_ref()
     }
 
     /// One controller evaluation against the live network and stack.
@@ -146,7 +163,16 @@ impl AdaptiveController {
             .observed_tau()
             .filter(|t| *t > 0.0)
             .unwrap_or(self.cfg.planner.tau);
-        let mut plan = self.planner.plan(n, tau);
+        // The satellite bugfix: degenerate live inputs (τ→0 from a
+        // zero-collision tick sequence, n̂ shrunk below the configured
+        // `b`) must hold the last good plan, not abort the process.
+        let mut plan = match self.planner.try_plan(n, tau) {
+            Ok(plan) => plan,
+            Err(_) => {
+                stack.note_controller_hold(now, HoldReason::InvalidInput);
+                return;
+            }
+        };
         // Signal 3: §6.1 survivor discount. Old advertisements survive
         // only on never-failed originals, and they were placed with the
         // *live* advertise size — so the lookup floor runs against the
@@ -195,26 +221,83 @@ impl AdaptiveController {
             }
         }
         let current = stack.config().spec;
-        if self.within_dead_band(current, plan.spec) {
+        // Weighted mode: each replan also rebalances the mixture's
+        // selection weights against the live `(n̂, τ)`. An infeasible
+        // optimizer input holds like any other invalid input.
+        let weighted_plan = match &self.optimizer {
+            Some(opt) => match opt.try_plan(n, tau) {
+                Ok(wp) => Some(wp),
+                Err(_) => {
+                    stack.note_controller_hold(now, HoldReason::InvalidInput);
+                    return;
+                }
+            },
+            None => None,
+        };
+        let sizes_held = self.within_dead_band(current, plan.spec);
+        let weights_held = weighted_plan.as_ref().is_none_or(|wp| {
+            self.weights_within_dead_band(stack.config().weighted.as_ref(), &wp.spec)
+        });
+        if sizes_held && weights_held {
             stack.note_controller_hold(now, HoldReason::DeadBand);
             return;
         }
-        match stack.reconfigure(now, plan.spec) {
-            Ok(_) => {}
-            Err(ReconfigureError::NeedsTransitTap) => {
-                // The planner asked for a strategy the router cannot
-                // serve mid-run; keep the live strategies, apply sizes.
-                let mut fallback = current;
-                fallback.advertise.size = plan.spec.advertise.size;
-                fallback.lookup.size = plan.spec.lookup.size;
-                plan.spec = fallback;
-                stack
-                    .reconfigure(now, fallback)
-                    .expect("current strategies are always reconfigurable");
-            }
+        match weighted_plan {
+            Some(wp) => match stack.reconfigure_weighted(now, plan.spec, Some(wp.spec)) {
+                Ok(_) => {
+                    self.last_weighted = Some(wp);
+                }
+                Err(ReconfigureError::NeedsTransitTap) => {
+                    // A mixture candidate needs the relay tap the router
+                    // was built without: keep the live strategies and
+                    // mixture, apply the uniform sizes only.
+                    let mut fallback = current;
+                    fallback.advertise.size = plan.spec.advertise.size;
+                    fallback.lookup.size = plan.spec.lookup.size;
+                    plan.spec = fallback;
+                    stack
+                        .reconfigure(now, fallback)
+                        .expect("current strategies are always reconfigurable");
+                }
+            },
+            None => match stack.reconfigure(now, plan.spec) {
+                Ok(_) => {}
+                Err(ReconfigureError::NeedsTransitTap) => {
+                    // The planner asked for a strategy the router cannot
+                    // serve mid-run; keep the live strategies, apply sizes.
+                    let mut fallback = current;
+                    fallback.advertise.size = plan.spec.advertise.size;
+                    fallback.lookup.size = plan.spec.lookup.size;
+                    plan.spec = fallback;
+                    stack
+                        .reconfigure(now, fallback)
+                        .expect("current strategies are always reconfigurable");
+                }
+            },
         }
         self.last_apply = Some(now);
         self.last_plan = Some(plan);
+    }
+
+    /// Whether the planned mixture is close enough to the live one to
+    /// hold: same candidate sets on both sides and every selection
+    /// weight within the dead-band. A live stack without a mixture is
+    /// never "close" — weighted mode always applies its first mixture.
+    fn weights_within_dead_band(
+        &self,
+        current: Option<&WeightedBiquorumSpec>,
+        planned: &WeightedBiquorumSpec,
+    ) -> bool {
+        let Some(cur) = current else {
+            return false;
+        };
+        let side_close = |a: &WeightedSide, b: &WeightedSide| {
+            a.len() == b.len()
+                && a.candidates()
+                    .zip(b.candidates())
+                    .all(|((sa, wa), (sb, wb))| sa == sb && (wa - wb).abs() <= self.cfg.dead_band)
+        };
+        side_close(&cur.advertise, &planned.advertise) && side_close(&cur.lookup, &planned.lookup)
     }
 
     fn within_dead_band(&self, current: BiquorumSpec, planned: BiquorumSpec) -> bool {

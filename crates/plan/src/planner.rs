@@ -106,6 +106,110 @@ impl QuorumPlan {
     }
 }
 
+/// Why a planner input was rejected. Rejections are *inputs'* faults —
+/// a live controller feeding the planner a degenerate estimate (τ→0
+/// after a zero-collision tick, ε drift, a shrunken n̂ below `b`) must
+/// be able to hold its last good plan instead of aborting the process,
+/// so every validation is a typed error; panics are reserved for
+/// planner-internal invariant violations (an emitted undersized plan).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// ε outside (0,1) (or not finite).
+    BadEpsilon {
+        /// The rejected value.
+        epsilon: f64,
+    },
+    /// τ or an access cost not strictly positive and finite at
+    /// configuration time.
+    BadRates {
+        /// Configured τ prior.
+        tau: f64,
+        /// Advertise access cost.
+        cost_advertise: f64,
+        /// Lookup access cost.
+        cost_lookup: f64,
+    },
+    /// Neither strategy is RANDOM — no mix-and-match guarantee, so the
+    /// planner can guarantee nothing (§5.2/§5.3).
+    NoRandomSide,
+    /// Negative (or non-finite) expected churn rate.
+    BadChurnRate {
+        /// The rejected rate.
+        churn_per_sec: f64,
+    },
+    /// `n == 0`: no population to plan for.
+    EmptyPopulation,
+    /// The plan-time workload ratio was not strictly positive/finite.
+    BadTau {
+        /// The rejected value.
+        tau: f64,
+    },
+    /// `b ≥ n`: no honest intersection can exist.
+    TooManyByzantine {
+        /// Byzantine nodes to mask.
+        b: u32,
+        /// Population.
+        n: usize,
+    },
+    /// The optimizer's resilience fraction was outside `[0,1)`.
+    BadResilience {
+        /// The rejected fraction.
+        f: f64,
+    },
+    /// The optimizer's weight grid had zero resolution.
+    BadWeightGrid,
+    /// The optimizer's lookup palette held no strategies.
+    EmptyPalette,
+    /// No candidate mixture satisfied the f-discounted ε gate — the
+    /// population is too small for the requested resilience.
+    Infeasible {
+        /// Population planned for.
+        n: usize,
+        /// The resilience fraction requested.
+        f: f64,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PlanError::BadEpsilon { epsilon } => {
+                write!(f, "epsilon in (0,1): got {epsilon}")
+            }
+            PlanError::BadRates {
+                tau,
+                cost_advertise,
+                cost_lookup,
+            } => write!(
+                f,
+                "tau and costs must be positive: tau={tau} \
+                 cost_advertise={cost_advertise} cost_lookup={cost_lookup}"
+            ),
+            PlanError::NoRandomSide => f.write_str("mix-and-match needs at least one RANDOM side"),
+            PlanError::BadChurnRate { churn_per_sec } => {
+                write!(f, "churn rate must be non-negative: got {churn_per_sec}")
+            }
+            PlanError::EmptyPopulation => f.write_str("cannot plan for an empty population"),
+            PlanError::BadTau { tau } => {
+                write!(f, "tau must be positive: got {tau}")
+            }
+            PlanError::TooManyByzantine { b, n } => {
+                write!(f, "cannot mask b={b} Byzantine nodes out of n={n}")
+            }
+            PlanError::BadResilience { f: frac } => {
+                write!(f, "resilience fraction in [0,1): got {frac}")
+            }
+            PlanError::BadWeightGrid => f.write_str("weight grid needs at least one step"),
+            PlanError::EmptyPalette => f.write_str("lookup palette holds no strategies"),
+            PlanError::Infeasible { n, f: frac } => {
+                write!(f, "no feasible weighted mixture: n={n} f_resilience={frac}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// The analytic planner: validated configuration plus the sizing rule.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Planner {
@@ -120,19 +224,43 @@ impl Planner {
     /// Panics when ε ∉ (0,1), τ or a cost is not strictly positive, or
     /// neither strategy is RANDOM (without a uniform side the
     /// mix-and-match bound — and with it every guarantee the planner
-    /// makes — is void, §5.2/§5.3).
+    /// makes — is void, §5.2/§5.3). Fallible callers (live controllers)
+    /// use [`Planner::try_new`].
     pub fn new(cfg: PlannerConfig) -> Self {
-        assert!(cfg.epsilon > 0.0 && cfg.epsilon < 1.0, "epsilon in (0,1)");
-        assert!(
-            cfg.tau > 0.0 && cfg.cost_advertise > 0.0 && cfg.cost_lookup > 0.0,
-            "tau and costs must be positive"
-        );
-        assert!(
-            cfg.advertise_strategy.is_uniform_random() || cfg.lookup_strategy.is_uniform_random(),
-            "mix-and-match needs at least one RANDOM side"
-        );
-        assert!(cfg.churn_per_sec >= 0.0, "churn rate must be non-negative");
-        Planner { cfg }
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a planner, rejecting invalid configuration as a typed
+    /// [`PlanError`] instead of panicking.
+    pub fn try_new(cfg: PlannerConfig) -> Result<Self, PlanError> {
+        if !(cfg.epsilon > 0.0 && cfg.epsilon < 1.0) {
+            return Err(PlanError::BadEpsilon {
+                epsilon: cfg.epsilon,
+            });
+        }
+        if !(cfg.tau > 0.0
+            && cfg.tau.is_finite()
+            && cfg.cost_advertise > 0.0
+            && cfg.cost_advertise.is_finite()
+            && cfg.cost_lookup > 0.0
+            && cfg.cost_lookup.is_finite())
+        {
+            return Err(PlanError::BadRates {
+                tau: cfg.tau,
+                cost_advertise: cfg.cost_advertise,
+                cost_lookup: cfg.cost_lookup,
+            });
+        }
+        if !(cfg.advertise_strategy.is_uniform_random() || cfg.lookup_strategy.is_uniform_random())
+        {
+            return Err(PlanError::NoRandomSide);
+        }
+        if !(cfg.churn_per_sec >= 0.0 && cfg.churn_per_sec.is_finite()) {
+            return Err(PlanError::BadChurnRate {
+                churn_per_sec: cfg.churn_per_sec,
+            });
+        }
+        Ok(Planner { cfg })
     }
 
     /// The configuration.
@@ -146,16 +274,27 @@ impl Planner {
     /// # Panics
     ///
     /// Panics if `n == 0` or `tau ≤ 0`, and — by construction — if the
-    /// emitted sizes ever failed the Corollary 5.3 check.
+    /// emitted sizes ever failed the Corollary 5.3 check. Fallible
+    /// callers (live controllers acting on estimates) use
+    /// [`Planner::try_plan`].
     pub fn plan(&self, n: usize, tau: f64) -> QuorumPlan {
-        assert!(n > 0, "cannot plan for an empty population");
-        assert!(tau > 0.0 && tau.is_finite(), "tau must be positive");
+        self.try_plan(n, tau).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Emits the checked plan, rejecting degenerate inputs (`n = 0`,
+    /// `τ ≤ 0`, `b ≥ n`) as a typed [`PlanError`] instead of panicking.
+    pub fn try_plan(&self, n: usize, tau: f64) -> Result<QuorumPlan, PlanError> {
+        if n == 0 {
+            return Err(PlanError::EmptyPopulation);
+        }
+        if !(tau > 0.0 && tau.is_finite()) {
+            return Err(PlanError::BadTau { tau });
+        }
         let eps = self.cfg.epsilon;
         let b = self.cfg.byz_b;
-        assert!(
-            (b as usize) < n,
-            "cannot mask b={b} Byzantine nodes out of n={n}"
-        );
+        if b as usize >= n {
+            return Err(PlanError::TooManyByzantine { b, n });
+        }
         let cap = n as u32;
         // Lemma 5.6 continuous optimum, rounded to the nearest integer
         // and clamped to [1, n]. With b > 0 the required product inflates
@@ -229,14 +368,14 @@ impl Planner {
         };
         let refresh_period = (self.cfg.churn_per_sec > 0.0 && refresh_churn < 1.0)
             .then(|| SimDuration::from_secs_f64(refresh_churn / self.cfg.churn_per_sec));
-        QuorumPlan {
+        Ok(QuorumPlan {
             spec: spec_pair,
             n,
             epsilon: eps,
             miss_bound,
             refresh_churn,
             refresh_period,
-        }
+        })
     }
 }
 
@@ -361,6 +500,48 @@ mod tests {
             assert!(qa <= n && ql <= n, "n={n}");
             assert!(plan.miss_probability() <= 0.1 + 1e-9, "n={n}");
         }
+    }
+
+    #[test]
+    fn try_variants_reject_degenerate_inputs_without_panicking() {
+        let planner = Planner::new(PlannerConfig::paper_default());
+        assert_eq!(planner.try_plan(0, 10.0), Err(PlanError::EmptyPopulation));
+        assert!(matches!(
+            planner.try_plan(800, 0.0),
+            Err(PlanError::BadTau { .. })
+        ));
+        assert!(matches!(
+            planner.try_plan(800, f64::NAN),
+            Err(PlanError::BadTau { .. })
+        ));
+        let byz = Planner::new(PlannerConfig {
+            byz_b: 10,
+            ..PlannerConfig::paper_default()
+        });
+        assert_eq!(
+            byz.try_plan(10, 10.0),
+            Err(PlanError::TooManyByzantine { b: 10, n: 10 })
+        );
+        assert!(matches!(
+            Planner::try_new(PlannerConfig {
+                epsilon: 1.5,
+                ..PlannerConfig::paper_default()
+            }),
+            Err(PlanError::BadEpsilon { .. })
+        ));
+        assert!(matches!(
+            Planner::try_new(PlannerConfig {
+                cost_lookup: f64::NAN,
+                ..PlannerConfig::paper_default()
+            }),
+            Err(PlanError::BadRates { .. })
+        ));
+        // The panic-wrapper message is the error's Display — the
+        // documented substrings stay greppable.
+        assert_eq!(
+            PlanError::NoRandomSide.to_string(),
+            "mix-and-match needs at least one RANDOM side"
+        );
     }
 
     #[test]

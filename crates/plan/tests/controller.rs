@@ -2,10 +2,10 @@
 //! (the satellite bugfix), hysteresis accounting, same-seed trace
 //! determinism, and churn compensation end-to-end.
 
-use pqs_core::obs::TraceEvent;
+use pqs_core::obs::{HoldReason, TraceEvent};
 use pqs_core::runner::{run_scenario, ChurnPlan, ScenarioConfig};
 use pqs_core::workload::WorkloadConfig;
-use pqs_plan::{run_adaptive_scenario, ControllerConfig, PlannerConfig};
+use pqs_plan::{run_adaptive_scenario, ControllerConfig, OptimizerConfig, PlannerConfig};
 use pqs_sim::{SimDuration, SimTime};
 
 fn small_scenario(n: usize) -> ScenarioConfig {
@@ -59,6 +59,44 @@ fn estimator_no_collision_holds_plan() {
         .any(|(_, e)| matches!(e, TraceEvent::Reconfigured { .. })));
 }
 
+/// Satellite bugfix (PR 10): degenerate planner inputs at tick time —
+/// here a configured Byzantine budget no live n̂ can mask — used to
+/// abort the whole run through the planner's assertions. The controller
+/// must instead hold the last good plan, visibly: an `invalid_input`
+/// hold per affected tick in both the counters and the trace, zero
+/// reconfigurations, and a run that completes on the seed plan.
+#[test]
+fn degenerate_plan_inputs_hold_prior_plan() {
+    let scenario = small_scenario(50);
+    let mut ctrl = quick_controller();
+    ctrl.planner.byz_b = 10_000; // n̂ ≈ 50: every try_plan must reject
+
+    let metrics = run_adaptive_scenario(&scenario, ctrl, 7);
+
+    let c = &metrics.counters;
+    assert!(c.controller_ticks > 0, "controller never ran");
+    assert!(
+        c.controller_holds_invalid > 0,
+        "invalid planner inputs must be counted"
+    );
+    assert_eq!(c.reconfigures, 0, "held plans must not reconfigure");
+    let held_invalid = metrics
+        .trace
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                TraceEvent::PlanHeld {
+                    reason: HoldReason::InvalidInput
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(held_invalid, c.controller_holds_invalid);
+    // The run itself survived on the prior (seed) plan and served ops.
+    assert!(c.lookups_issued > 0, "run must complete on the seed plan");
+}
+
 /// Every controller tick resolves to exactly one outcome: a
 /// reconfiguration or a hold with one reason.
 #[test]
@@ -71,6 +109,7 @@ fn tick_accounting_is_exhaustive() {
         c.controller_ticks,
         c.reconfigures
             + c.controller_holds_no_estimate
+            + c.controller_holds_invalid
             + c.controller_holds_dead_band
             + c.controller_holds_dwell,
         "tick outcomes must partition the ticks"
@@ -98,6 +137,39 @@ fn hysteresis_dead_band_and_dwell() {
     if m.counters.reconfigures == 1 {
         assert!(m.counters.controller_holds_dwell > 0);
     }
+}
+
+/// Weighted mode (PR 10 tentpole): with an optimizer attached, the
+/// controller's first eligible tick installs the weighted mixture (the
+/// live stack starts without one, which is never "within the
+/// dead-band"), and replans keep rebalancing weights against the live
+/// `(n̂, τ)` without breaking the tick accounting.
+#[test]
+fn weighted_mode_installs_and_rebalances_the_mixture() {
+    let scenario = small_scenario(50);
+    let mut ctrl = quick_controller();
+    ctrl.weighted = Some(OptimizerConfig::paper_default());
+
+    let metrics = run_adaptive_scenario(&scenario, ctrl, 9);
+
+    let c = &metrics.counters;
+    assert!(c.controller_ticks > 0, "controller never ran");
+    assert!(
+        c.reconfigures >= 1,
+        "weighted mode must apply its first mixture"
+    );
+    assert_eq!(
+        c.controller_ticks,
+        c.reconfigures
+            + c.controller_holds_no_estimate
+            + c.controller_holds_invalid
+            + c.controller_holds_dead_band
+            + c.controller_holds_dwell,
+        "tick outcomes must partition the ticks in weighted mode too"
+    );
+    // Weighted replans are deterministic: same seed, same trace.
+    let again = run_adaptive_scenario(&scenario, ctrl, 9);
+    assert_eq!(metrics, again, "weighted runs diverged across replays");
 }
 
 /// Same seed, controller enabled → byte-identical trace-event sequences

@@ -310,6 +310,7 @@ pub struct Router<P> {
     transits: HashMap<u64, (NodeId, RoutePacket<P>)>,
     next_token: u64,
     stats: RoutingStats,
+    node_forwards: Vec<u64>,
 }
 
 impl<P: Clone> Router<P> {
@@ -324,12 +325,20 @@ impl<P: Clone> Router<P> {
             transits: HashMap::new(),
             next_token: 1,
             stats: RoutingStats::default(),
+            node_forwards: vec![0; n],
         }
     }
 
     /// Routing statistics.
     pub fn stats(&self) -> &RoutingStats {
         &self.stats
+    }
+
+    /// Per-node count of routed data frames each node *forwarded* on
+    /// behalf of other origins (relay work; origin transmissions are not
+    /// counted). Indexed by node id.
+    pub fn node_forwards(&self) -> &[u64] {
+        &self.node_forwards
     }
 
     /// Returns `true` if `node` currently has a usable route to `dst`.
@@ -342,6 +351,9 @@ impl<P: Clone> Router<P> {
     pub fn ensure_node(&mut self, node: NodeId) {
         while self.nodes.len() <= node.index() {
             self.nodes.push(NodeRouting::default());
+        }
+        while self.node_forwards.len() <= node.index() {
+            self.node_forwards.push(0);
         }
     }
 
@@ -967,6 +979,9 @@ impl<P: Clone> Router<P> {
         match self.nodes[at.index()].table.lookup(dst, now).copied() {
             Some(route) => {
                 self.stats.data_tx += 1;
+                if at != src {
+                    self.node_forwards[at.index()] += 1;
+                }
                 let token = self.fresh_token(TokenCtx::Forward {
                     node: at,
                     next_hop: route.next_hop,

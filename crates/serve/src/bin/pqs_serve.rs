@@ -2,10 +2,11 @@
 //! UDP sockets and serves until drained.
 //!
 //! Knobs: `PQS_SERVE_NODES` (cluster size, default 5), `PQS_SERVE_SEED`
-//! (default 1), `PQS_SERVE_RUN_SECS` (if set, auto-drain after this many
-//! seconds; otherwise the process waits for an external `DrainReq` on
-//! every node socket, e.g. from `serve_load --drain`). Malformed knob
-//! values exit with code 2.
+//! (default 1), `PQS_SERVE_WEIGHTED` (when 1, size with the fractional
+//! lookup mixture of `ServeConfig::sized_weighted`), `PQS_SERVE_RUN_SECS`
+//! (if set, auto-drain after this many seconds; otherwise the process
+//! waits for an external `DrainReq` on every node socket, e.g. from
+//! `serve_load --drain`). Malformed knob values exit with code 2.
 //!
 //! The bound addresses are printed one per line to stdout (and, when
 //! `PQS_SERVE_PORTS_FILE` is set, written to that path atomically via a
@@ -46,12 +47,24 @@ fn report_json(reports: &[NodeReport]) -> JsonValue {
 fn main() -> std::io::Result<()> {
     let nodes = knobs::nodes();
     let seed = knobs::seed();
-    let cfg = ServeConfig::sized(nodes, seed, 0.1);
+    let weighted = knobs::weighted();
+    let cfg = if weighted {
+        ServeConfig::sized_weighted(nodes, seed, 0.1)
+    } else {
+        ServeConfig::sized(nodes, seed, 0.1)
+    };
     let (qa, ql) = (cfg.endpoint.qa, cfg.endpoint.ql);
+    let mix = cfg.endpoint.weighted;
     let cluster = Cluster::spawn(cfg)?;
     let addrs = cluster.addrs().to_vec();
 
-    eprintln!("pqs_serve: {nodes} nodes, qa={qa} ql={ql}, seed={seed}");
+    match mix {
+        Some(w) => eprintln!(
+            "pqs_serve: {nodes} nodes, qa={qa} ql~{:.2} (weighted mixture), seed={seed}",
+            w.lookup.mean_size()
+        ),
+        None => eprintln!("pqs_serve: {nodes} nodes, qa={qa} ql={ql}, seed={seed}"),
+    }
     let mut stdout = std::io::stdout().lock();
     for addr in &addrs {
         writeln!(stdout, "{addr}")?;

@@ -8,7 +8,9 @@
 //!
 //! Knobs: `PQS_SERVE_OPS` (total client operations, default 100 000),
 //! `PQS_SERVE_NODES` (default 5), `PQS_SERVE_CLIENTS` (default 4),
-//! `PQS_SERVE_SEED` (default 1). Malformed values exit with code 2.
+//! `PQS_SERVE_SEED` (default 1), `PQS_SERVE_WEIGHTED` (when 1, the
+//! self-hosted cluster sizes with the fractional lookup mixture).
+//! Malformed values exit with code 2.
 //!
 //! Outcome counters (hit ratio, completion split) land in
 //! `bench_results/serve_throughput.json`; everything wall-clock
@@ -63,6 +65,7 @@ fn main() -> std::io::Result<()> {
     let seed = knobs::seed();
     let epsilon = 0.1;
 
+    let mut weighted_mix = None;
     let (cluster, addrs, qa, ql) = match targets {
         Some(addrs) => {
             if addrs.is_empty() {
@@ -72,8 +75,13 @@ fn main() -> std::io::Result<()> {
             (None, addrs, 0usize, 0usize)
         }
         None => {
-            let cfg = ServeConfig::sized(nodes, seed, epsilon);
+            let cfg = if knobs::weighted() {
+                ServeConfig::sized_weighted(nodes, seed, epsilon)
+            } else {
+                ServeConfig::sized(nodes, seed, epsilon)
+            };
             let (qa, ql) = (cfg.endpoint.qa, cfg.endpoint.ql);
+            weighted_mix = cfg.endpoint.weighted;
             let cluster = Cluster::spawn(cfg)?;
             let addrs = cluster.addrs().to_vec();
             (Some(cluster), addrs, qa, ql)
@@ -92,6 +100,10 @@ fn main() -> std::io::Result<()> {
     report::add_value("qa", JsonValue::from(qa));
     report::add_value("ql", JsonValue::from(ql));
     report::add_value("epsilon", JsonValue::from(epsilon));
+    report::add_value("weighted", JsonValue::from(weighted_mix.is_some()));
+    if let Some(w) = weighted_mix {
+        report::add_value("ql_mean", JsonValue::from(w.lookup.mean_size()));
+    }
     report::add_value("ops", JsonValue::from(ops));
     report::add_value("clients", JsonValue::from(clients));
     report::add_value("seed", JsonValue::from(seed));

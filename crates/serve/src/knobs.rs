@@ -61,6 +61,20 @@ pub fn seed() -> u64 {
     }
 }
 
+/// `PQS_SERVE_WEIGHTED`: when `1`, size the cluster with the fractional
+/// lookup mixture of `ServeConfig::sized_weighted` instead of uniform
+/// quorum sizes (default 0).
+pub fn weighted() -> bool {
+    match std::env::var("PQS_SERVE_WEIGHTED") {
+        Err(_) => false,
+        Ok(raw) => match raw.trim() {
+            "0" => false,
+            "1" => true,
+            _ => fail_knob(&format!("PQS_SERVE_WEIGHTED={raw}: expected 0 or 1")),
+        },
+    }
+}
+
 /// `PQS_SERVE_RUN_SECS`: if set, `pqs_serve` auto-drains after this many
 /// seconds instead of waiting for an external `DrainReq`.
 pub fn run_secs() -> Option<u64> {

@@ -13,7 +13,7 @@ use pqs_core::wire;
 use pqs_net::NodeId;
 use pqs_sim::metrics::Histogram;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
@@ -81,6 +81,48 @@ struct ClientReq {
     get: bool,
 }
 
+/// Completed client answers retained for retransmit replay, bounded
+/// FIFO. `open_reqs` only dedups operations still *in flight*: a client
+/// retransmit that races the `ClientPutDone`/`ClientGetDone` datagram
+/// (or arrives after the answer was lost) used to start a brand-new
+/// quorum operation for a request the node had already answered —
+/// duplicate work, and for puts a second advertise round for the same
+/// write. Completed answers are cached here and replayed verbatim.
+struct ReplyCache {
+    answers: HashMap<(SocketAddr, u64), WireMsg>,
+    order: VecDeque<(SocketAddr, u64)>,
+    cap: usize,
+}
+
+impl ReplyCache {
+    fn new(cap: usize) -> Self {
+        ReplyCache {
+            answers: HashMap::with_capacity(cap),
+            order: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    fn insert(&mut self, key: (SocketAddr, u64), msg: WireMsg) {
+        if self.answers.insert(key, msg).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.answers.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: &(SocketAddr, u64)) -> Option<&WireMsg> {
+        self.answers.get(key)
+    }
+}
+
+/// Completed answers kept per node for duplicate-request replay. At the
+/// load generator's ~64-byte frames this bounds the cache near 100 KiB.
+const REPLY_CACHE_CAP: usize = 1024;
+
 /// Runs one node until it is drained. See the module docs for the loop
 /// structure.
 pub fn node_loop(
@@ -100,6 +142,7 @@ pub fn node_loop(
     // op → waiting client; (addr, req) → op for retransmit dedup.
     let mut client_ops: HashMap<OpId, ClientReq> = HashMap::new();
     let mut open_reqs: HashMap<(SocketAddr, u64), OpId> = HashMap::new();
+    let mut done_reqs = ReplyCache::new(REPLY_CACHE_CAP);
     let mut drain_waiters: Vec<SocketAddr> = Vec::new();
     let mut draining = false;
 
@@ -173,6 +216,12 @@ pub fn node_loop(
                     if open_reqs.contains_key(&(src, req)) {
                         continue; // retransmit of an op still in flight
                     }
+                    if let Some(answer) = done_reqs.get(&(src, req)) {
+                        // Already answered: replay the cached answer
+                        // instead of re-running the quorum operation.
+                        send_raw(&sock, me, src, answer.clone(), &mut send_errors);
+                        continue;
+                    }
                     let mut ctx = UdpCtx {
                         sock: &sock,
                         me,
@@ -207,6 +256,10 @@ pub fn node_loop(
                 }
                 WireMsg::ClientGet { req, key } => {
                     if open_reqs.contains_key(&(src, req)) {
+                        continue;
+                    }
+                    if let Some(answer) = done_reqs.get(&(src, req)) {
+                        send_raw(&sock, me, src, answer.clone(), &mut send_errors);
                         continue;
                     }
                     let mut ctx = UdpCtx {
@@ -286,6 +339,7 @@ pub fn node_loop(
                     status,
                 }
             };
+            done_reqs.insert((cr.addr, cr.req), msg.clone());
             send_raw(&sock, me, cr.addr, msg, &mut send_errors);
         }
 

@@ -70,6 +70,73 @@ fn load_roundtrip_health_and_drain() {
 }
 
 #[test]
+fn duplicate_after_completion_replays_cached_answer() {
+    let cluster = Cluster::spawn(ServeConfig::sized(3, 17, 0.1)).expect("spawn");
+    let addrs = cluster.addrs().to_vec();
+    let sock = client_socket();
+
+    // Retransmits after completion can leave stale (identical) answers
+    // in the client socket buffer; await the *expected* reply and
+    // discard anything else so phases cannot cross-contaminate.
+    let await_reply = |msg: &WireMsg, want: &WireMsg| {
+        let frame = wire::encode_frame(&Datagram {
+            from: CLIENT_NODE_ID,
+            msg: msg.clone(),
+        });
+        let mut buf = [0u8; 2048];
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_secs(10) {
+            sock.send_to(&frame, addrs[0]).expect("send");
+            if let Ok((n, _)) = sock.recv_from(&mut buf) {
+                if let Ok((dg, _)) = wire::decode_frame(&buf[..n]) {
+                    if dg.msg == *want {
+                        return;
+                    }
+                }
+            }
+        }
+        panic!("expected reply {want:?} never arrived");
+    };
+
+    let put = WireMsg::ClientPut {
+        req: 100,
+        key: 7,
+        value: 1234,
+    };
+    let done = WireMsg::ClientPutDone {
+        req: 100,
+        status: OpStatus::Ok,
+    };
+    await_reply(&put, &done);
+
+    // Retransmit the *same* request after completion, several times —
+    // modelling a lost ClientPutDone. Every copy must be answered from
+    // the completed-request cache without starting a new operation.
+    for _ in 0..3 {
+        await_reply(&put, &done);
+    }
+
+    let get = WireMsg::ClientGet { req: 101, key: 7 };
+    let got = WireMsg::ClientGetDone {
+        req: 101,
+        status: OpStatus::Ok,
+        value: 1234,
+    };
+    await_reply(&get, &got);
+    for _ in 0..3 {
+        await_reply(&get, &got);
+    }
+
+    let reports = cluster.drain().expect("drain");
+    let coord = &reports[0];
+    // One advertise and one lookup ran end to end; the duplicates were
+    // replayed, not re-executed as fresh quorum operations.
+    assert_eq!(coord.counters.advertises_issued, 1);
+    assert_eq!(coord.counters.lookups_issued, 1);
+    assert_eq!(coord.client_completed, 2);
+}
+
+#[test]
 fn drain_acks_and_closes_sockets() {
     let cluster = Cluster::spawn(ServeConfig::sized(3, 11, 0.1)).expect("spawn");
     let addrs = cluster.addrs().to_vec();

@@ -58,6 +58,14 @@ PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
 diff "$seq_dir/fig_adaptive.json" "$par_dir/fig_adaptive.json" \
     || { echo "fig_adaptive.json differs between PQS_JOBS=1 and 2"; exit 1; }
 
+echo "==> weighted optimizer: fig_load smoke, diff vs sequential"
+PQS_BENCH_DIR="$seq_dir" PQS_JOBS=1 PQS_SEEDS=1 PQS_SIZES=50 \
+    cargo run --release -q -p pqs-bench --bin fig_load >/dev/null
+PQS_BENCH_DIR="$par_dir" PQS_JOBS=2 PQS_SEEDS=1 PQS_SIZES=50 \
+    cargo run --release -q -p pqs-bench --bin fig_load >/dev/null
+diff "$seq_dir/fig_load.json" "$par_dir/fig_load.json" \
+    || { echo "fig_load.json differs between PQS_JOBS=1 and 2"; exit 1; }
+
 echo "==> byzantine: pqs-core byzantine suite"
 cargo test -q -p pqs-core --test byzantine
 
